@@ -1,0 +1,156 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section in one shot (Tables 1-2, Figures 2 and 7-11), plus
+// the Section 5 narrative checks. Use -only to restrict to a single
+// artifact.
+//
+// Usage:
+//
+//	figures              # everything (~10 s)
+//	figures -only fig7   # a single figure
+//	figures -only narrative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"thermbal/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	only := flag.String("only", "", "table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|narrative|ablations|scale (empty = all)")
+	flag.Parse()
+
+	want := func(key string) bool { return *only == "" || *only == key }
+
+	if want("table1") {
+		fmt.Print(experiment.FormatTable1())
+		fmt.Println()
+	}
+	if want("table2") {
+		out, err := experiment.FormatTable2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	if want("fig2") {
+		rows, err := experiment.Fig2(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiment.FormatFig2(rows))
+		fmt.Println()
+	}
+
+	needMobile := want("fig7") || want("fig8") || want("fig11")
+	needHP := want("fig9") || want("fig10") || want("fig11")
+	var mob, hp []experiment.SweepPoint
+	var err error
+	if needMobile {
+		mob, err = experiment.Sweep(experiment.Mobile, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if needHP {
+		hp, err = experiment.Sweep(experiment.HighPerf, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if want("fig7") {
+		fmt.Print(experiment.FormatStdDevFigure("Figure 7", experiment.Mobile, mob, nil))
+		fmt.Println()
+	}
+	if want("fig8") {
+		fmt.Print(experiment.FormatMissFigure("Figure 8", experiment.Mobile, mob, nil))
+		fmt.Println()
+	}
+	if want("fig9") {
+		fmt.Print(experiment.FormatStdDevFigure("Figure 9", experiment.HighPerf, hp, nil))
+		fmt.Println()
+	}
+	if want("fig10") {
+		fmt.Print(experiment.FormatMissFigure("Figure 10", experiment.HighPerf, hp, nil))
+		fmt.Println()
+	}
+	if want("fig11") {
+		fmt.Print(experiment.FormatFig11(experiment.Fig11(mob, hp, nil)))
+		fmt.Println()
+	}
+
+	if want("narrative") {
+		if err := narrative(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if want("ablations") {
+		out, err := experiment.AllAblations()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+
+	if want("scale") {
+		rows, err := experiment.Scale(nil, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiment.FormatScale(rows))
+	}
+}
+
+// narrative reproduces the Section 5 prose claims: the 12.5 s warm-up
+// gradient, balance within about a second, bounded overshoot, and the
+// 64 KB-per-migration overhead arithmetic.
+func narrative() error {
+	fmt.Println("Section 5 narrative checks")
+
+	// Warm-up gradient.
+	res, eng, err := experiment.Run(experiment.RunConfig{
+		Policy: experiment.EnergyBalance, Package: experiment.Mobile, MeasureS: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	t1 := eng.Platform().CoreTemp(0)
+	t3 := eng.Platform().CoreTemp(2)
+	fmt.Printf("  warm-up gradient after 12.5 s: %.1f °C between core1 (%.1f) and core3 (%.1f)\n",
+		t1-t3, t1, t3)
+	_ = res
+
+	// Balancing transient with the operating threshold.
+	resTB, engTB, err := experiment.Run(experiment.RunConfig{
+		Policy: experiment.ThermalBalance, Delta: 3, Package: experiment.Mobile, MeasureS: 10, Trace: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  after balancing: mean gradient %.2f °C, %d misses, over-threshold time %.2f s\n",
+		resTB.MeanGradient, resTB.DeadlineMisses, resTB.OverThresholdS)
+	fmt.Printf("  migration overhead: %d migrations x 64 KB = %.0f KB over %.0f s (%.1f KB/s)\n",
+		resTB.Migrations, resTB.MigratedBytes/1024, resTB.MeasuredS, resTB.BytesPerSec/1024)
+	_ = engTB
+
+	// Queue sizing: the paper's 11-frame minimum.
+	for _, cap := range []int{5, 8, 11} {
+		r, _, err := experiment.Run(experiment.RunConfig{
+			Policy: experiment.ThermalBalance, Delta: 3, Package: experiment.Mobile,
+			MeasureS: 15, QueueCap: cap,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  queue capacity %2d frames -> %d deadline misses\n", cap, r.DeadlineMisses)
+	}
+	return nil
+}

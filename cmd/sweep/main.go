@@ -1,0 +1,88 @@
+// Command sweep runs the paper's threshold sweep (Figures 7-11) for one
+// or both thermal packages and prints the resulting series.
+//
+// Usage:
+//
+//	sweep                    # both packages, thresholds 2..5
+//	sweep -package mobile    # one package
+//	sweep -deltas 2,3,4,5,6  # custom thresholds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"thermbal/internal/experiment"
+)
+
+func parseDeltas(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad delta %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		pkgName  = flag.String("package", "both", "mobile | highperf | both")
+		deltaStr = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
+	)
+	flag.Parse()
+
+	deltas, err := parseDeltas(*deltaStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	useDeltas := deltas
+	if useDeltas == nil {
+		useDeltas = experiment.Deltas
+	}
+	// Fig11 formatting relies on the shared default axis; extend it when
+	// the user supplies a custom one.
+	experiment.Deltas = useDeltas
+
+	wantMobile := *pkgName == "both" || *pkgName == "mobile"
+	wantHP := *pkgName == "both" || *pkgName == "highperf" || *pkgName == "hp"
+	if !wantMobile && !wantHP {
+		log.Fatalf("unknown package %q", *pkgName)
+	}
+
+	var mob, hp []experiment.SweepPoint
+	if wantMobile {
+		mob, err = experiment.Sweep(experiment.Mobile, useDeltas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiment.FormatStdDevFigure("Figure 7", experiment.Mobile, mob, useDeltas))
+		fmt.Println()
+		fmt.Print(experiment.FormatMissFigure("Figure 8", experiment.Mobile, mob, useDeltas))
+		fmt.Println()
+	}
+	if wantHP {
+		hp, err = experiment.Sweep(experiment.HighPerf, useDeltas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiment.FormatStdDevFigure("Figure 9", experiment.HighPerf, hp, useDeltas))
+		fmt.Println()
+		fmt.Print(experiment.FormatMissFigure("Figure 10", experiment.HighPerf, hp, useDeltas))
+		fmt.Println()
+	}
+	if wantMobile && wantHP {
+		fmt.Print(experiment.FormatFig11(experiment.Fig11(mob, hp, useDeltas)))
+	}
+}

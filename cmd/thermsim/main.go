@@ -1,0 +1,124 @@
+// Command thermsim runs one thermal-management experiment on the
+// emulated 3-core streaming MPSoC and prints a full report: the
+// reproduction's equivalent of one run on the paper's FPGA framework.
+//
+// Usage:
+//
+//	thermsim -policy thermal-balance -delta 3 -package mobile
+//	thermsim -policy stop-go -delta 2 -package highperf -measure 30
+//	thermsim -policy thermal-balance -delta 3 -trace run.csv -events ev.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"thermbal/internal/experiment"
+	"thermbal/internal/migrate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("thermsim: ")
+
+	var (
+		policyName = flag.String("policy", "thermal-balance", "policy: energy-balance | stop-go | thermal-balance")
+		delta      = flag.Float64("delta", 3, "threshold distance from mean temperature (°C)")
+		pkgName    = flag.String("package", "mobile", "thermal package: mobile | highperf")
+		warmup     = flag.Float64("warmup", experiment.DefaultWarmupS, "warm-up before the policy engages (s)")
+		measure    = flag.Float64("measure", experiment.DefaultMeasureS, "measurement window (s)")
+		queueCap   = flag.Int("queue", 0, "inter-task queue capacity in frames (default 11)")
+		recreate   = flag.Bool("recreation", false, "use task-recreation instead of task-replication")
+		traceOut   = flag.String("trace", "", "write the temperature/frequency timeline CSV to this file")
+		eventsOut  = flag.String("events", "", "write the event log CSV to this file")
+	)
+	flag.Parse()
+
+	rc := experiment.RunConfig{
+		Delta:    *delta,
+		WarmupS:  *warmup,
+		MeasureS: *measure,
+		QueueCap: *queueCap,
+		Trace:    *traceOut != "" || *eventsOut != "",
+	}
+	switch *policyName {
+	case "energy-balance", "eb":
+		rc.Policy = experiment.EnergyBalance
+	case "stop-go", "stopgo", "stop&go", "sg":
+		rc.Policy = experiment.StopGo
+	case "thermal-balance", "tb", "migra":
+		rc.Policy = experiment.ThermalBalance
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	switch *pkgName {
+	case "mobile", "embedded":
+		rc.Package = experiment.Mobile
+	case "highperf", "high-performance", "hp":
+		rc.Package = experiment.HighPerf
+	default:
+		log.Fatalf("unknown package %q", *pkgName)
+	}
+	if *recreate {
+		rc.Mechanism = migrate.Recreation
+	}
+
+	res, eng, err := experiment.Run(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy           %s\n", res.PolicyName)
+	fmt.Printf("package          %s\n", rc.Package)
+	fmt.Printf("threshold        ±%.1f °C around the mean\n", rc.Delta)
+	fmt.Printf("window           %.1f s (after %.1f s warm-up)\n", res.MeasuredS, rc.WarmupS)
+	fmt.Println()
+	fmt.Printf("temperature std  %.3f °C pooled (spatial %.3f, temporal %.3f)\n",
+		res.PooledStdDev, res.SpatialStdDev, res.MeanTemporalStdDev)
+	fmt.Printf("mean gradient    %.2f °C (hottest-coolest)\n", res.MeanGradient)
+	fmt.Printf("max temperature  %.2f °C\n", res.MaxTemp)
+	fmt.Println()
+	fmt.Printf("deadline misses  %d of %d deadlines (%.2f%%)\n",
+		res.DeadlineMisses, res.DeadlineMisses+res.FramesConsumed, res.MissRatePct)
+	fmt.Printf("migrations       %d (%.2f/s, %.1f KB/s, mean freeze %.1f ms)\n",
+		res.Migrations, res.MigrationsPerSec, res.BytesPerSec/1024, res.MeanFreezeS*1e3)
+	fmt.Printf("energy           %.3f J total\n", res.TotalEnergyJ)
+	fmt.Printf("DVFS switches    %d\n", res.DVFSSwitches)
+	if res.OverThresholdS > 0 {
+		fmt.Printf("over threshold   %.2f s total above mean+delta\n", res.OverThresholdS)
+	}
+
+	for c := 0; c < eng.Platform().NumCores(); c++ {
+		fmt.Printf("core%d            %.2f °C @ %.0f MHz\n",
+			c+1, eng.Platform().CoreTemp(c), eng.Platform().Frequency(c)/1e6)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Recorder().WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written    %s (%d samples)\n", *traceOut, len(eng.Recorder().Samples()))
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Recorder().WriteEventsCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("events written   %s (%d events)\n", *eventsOut, len(eng.Recorder().Events()))
+	}
+}

@@ -1,0 +1,106 @@
+// thermal_model uses the RC thermal substrate directly: it builds a
+// custom 4-core floorplan, solves the steady state for an unbalanced
+// power map, then watches the transient after the hot spot moves —
+// the experiment an architect would run before trusting any policy
+// results. It also demonstrates the two package presets.
+//
+//	go run ./examples/thermal_model
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermbal/internal/floorplan"
+	"thermbal/internal/thermal"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-core variant of the streaming MPSoC floorplan.
+	fp := floorplan.StreamingMPSoC(4)
+	fmt.Printf("floorplan: %d blocks, %d adjacencies, die %.1f x %.1f mm\n",
+		len(fp.Blocks), len(fp.Adjacencies), dieMM(fp, true), dieMM(fp, false))
+
+	model, err := thermal.NewModel(fp, thermal.MobileEmbedded())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unbalanced power: core 1 hot, the rest nearly idle.
+	power := make([]float64, len(fp.Blocks))
+	setCorePower(fp, power, 0, 0.40)
+	for c := 1; c < 4; c++ {
+		setCorePower(fp, power, c, 0.06)
+	}
+
+	if err := model.Settle(power); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsteady state with core1 hot:")
+	printCores(model, 4)
+
+	// Move the hot spot to core 4 and watch the transient.
+	setCorePower(fp, power, 0, 0.06)
+	setCorePower(fp, power, 3, 0.40)
+	fmt.Println("\ntransient after moving the load to core4 (mobile package):")
+	for _, dt := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+		if err := model.Step(dt, power); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  t+%4.1fs:", cum(dt))
+		for c := 0; c < 4; c++ {
+			fmt.Printf("  core%d %6.2f", c+1, model.CoreTemp(c))
+		}
+		fmt.Println()
+	}
+
+	// The high-performance package reaches the same steady state 6x
+	// faster.
+	hp, err := thermal.NewModel(fp, thermal.HighPerformance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hp.Step(2.0, power); err != nil { // 2 s ≈ 12 s of mobile time
+		log.Fatal(err)
+	}
+	fmt.Println("\nhigh-performance package after only 2 s from ambient:")
+	printCores(hp, 4)
+	fmt.Printf("\nspeed ratio between packages: %.1fx\n",
+		thermal.HighPerformance().SpeedupVs(thermal.MobileEmbedded()))
+}
+
+var elapsed float64
+
+func cum(dt float64) float64 {
+	elapsed += dt
+	return elapsed
+}
+
+func setCorePower(fp *floorplan.Floorplan, p []float64, coreID int, watts float64) {
+	for _, bi := range fp.BlocksOfCore(coreID) {
+		switch fp.Blocks[bi].Kind {
+		case floorplan.KindCore:
+			p[bi] = watts
+		case floorplan.KindICache:
+			p[bi] = watts * 0.02
+		case floorplan.KindDCache:
+			p[bi] = watts * 0.07
+		}
+	}
+}
+
+func printCores(m *thermal.Model, n int) {
+	for c := 0; c < n; c++ {
+		fmt.Printf("  core%d: %6.2f °C\n", c+1, m.CoreTemp(c))
+	}
+}
+
+func dieMM(fp *floorplan.Floorplan, width bool) float64 {
+	_, _, w, h := fp.DieExtent()
+	if width {
+		return w * 1e3
+	}
+	return h * 1e3
+}

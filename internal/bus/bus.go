@@ -1,0 +1,214 @@
+// Package bus models the shared on-chip interconnect of the MPSoC: a
+// single arbitration domain through which all inter-processor traffic
+// (message queues in shared memory, migration state transfers) flows.
+//
+// The model is bandwidth-based with fair-share contention: n concurrent
+// transfers each progress at bandwidth/n. This is what produces the
+// paper's Figure 2 effect, where the task-recreation migration curve has
+// a steeper slope than task-replication: recreation moves more bytes
+// (code reload on top of state), so its transfers overlap more traffic
+// and see more contention.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Transfer is an in-flight bulk transfer on the bus.
+type Transfer struct {
+	id        int
+	label     string
+	remaining float64 // bytes left to move
+	total     float64
+	done      bool
+}
+
+// ID returns the transfer's unique handle.
+func (t *Transfer) ID() int { return t.id }
+
+// Label returns the diagnostic label.
+func (t *Transfer) Label() string { return t.label }
+
+// Done reports whether the transfer has completed.
+func (t *Transfer) Done() bool { return t.done }
+
+// Remaining returns bytes still to move.
+func (t *Transfer) Remaining() float64 { return t.remaining }
+
+// Progress returns completion in [0,1].
+func (t *Transfer) Progress() float64 {
+	if t.total == 0 {
+		return 1
+	}
+	return 1 - t.remaining/t.total
+}
+
+// Bus is a fair-share shared interconnect. It is advanced by the
+// simulation clock via Advance and is not safe for concurrent use.
+type Bus struct {
+	bandwidth float64 // bytes/second aggregate
+	overheadS float64 // fixed arbitration/setup latency charged per transfer
+
+	next    int
+	active  []*Transfer
+	busyAcc float64 // accumulated busy seconds
+	moved   float64 // total bytes moved
+	started int
+}
+
+// Params configures a Bus.
+type Params struct {
+	// BandwidthBytesPerSec is the aggregate bus bandwidth. The default
+	// models a 32-bit bus at 133 MHz with protocol efficiency ~0.6:
+	// ~320 MB/s... but the paper's platform moves 64 KB in tens of
+	// milliseconds through the migration middleware (sync + copy via
+	// shared memory), so the *effective* default here is 4 MB/s.
+	BandwidthBytesPerSec float64
+	// PerTransferOverheadS is the fixed latency charged to each
+	// transfer before data moves (arbitration, daemon synchronisation).
+	PerTransferOverheadS float64
+}
+
+// DefaultBandwidth is the effective middleware copy bandwidth used by
+// the experiments (bytes/second). Migration copies are daemon-mediated
+// (suspend, PCB bookkeeping, copy through the shared memory buffer,
+// resume), so the effective rate is far below raw bus bandwidth: a
+// 64 KB context freezes its task for ~120 ms (6 audio frames). This
+// calibration makes an 11-frame queue the minimum that sustains
+// migration at the paper's operating threshold (Section 5.2), as the
+// paper reports.
+const DefaultBandwidth = 550 << 10
+
+// DefaultOverhead is the fixed per-transfer overhead (daemon signalling
+// plus arbitration) in seconds.
+const DefaultOverhead = 2e-3
+
+// New creates a bus. Zero params take defaults.
+func New(p Params) *Bus {
+	b := &Bus{
+		bandwidth: p.BandwidthBytesPerSec,
+		overheadS: p.PerTransferOverheadS,
+	}
+	if b.bandwidth <= 0 {
+		b.bandwidth = DefaultBandwidth
+	}
+	if b.overheadS < 0 {
+		b.overheadS = 0
+	} else if b.overheadS == 0 {
+		b.overheadS = DefaultOverhead
+	}
+	return b
+}
+
+// ErrBadSize is returned for non-positive transfer sizes.
+var ErrBadSize = errors.New("bus: transfer size must be positive")
+
+// Start enqueues a transfer of size bytes and returns its handle.
+// The fixed overhead is charged as extra bytes at current bandwidth so
+// that a transfer's latency is overhead + size/share.
+func (b *Bus) Start(label string, size float64) (*Transfer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w (got %g)", ErrBadSize, size)
+	}
+	t := &Transfer{
+		id:        b.next,
+		label:     label,
+		remaining: size + b.overheadS*b.bandwidth,
+		total:     size + b.overheadS*b.bandwidth,
+	}
+	b.next++
+	b.started++
+	b.active = append(b.active, t)
+	return t, nil
+}
+
+// Advance progresses all active transfers by dt seconds of bus time,
+// sharing bandwidth equally among active transfers (fair round-robin
+// arbitration). Completed transfers are marked Done and removed.
+func (b *Bus) Advance(dt float64) {
+	if dt <= 0 || len(b.active) == 0 {
+		return
+	}
+	remainingDT := dt
+	for remainingDT > 1e-15 && len(b.active) > 0 {
+		n := float64(len(b.active))
+		share := b.bandwidth / n
+		// Find the first transfer to finish within remainingDT.
+		minT := remainingDT
+		for _, t := range b.active {
+			if need := t.remaining / share; need < minT {
+				minT = need
+			}
+		}
+		for _, t := range b.active {
+			t.remaining -= share * minT
+			b.moved += share * minT
+		}
+		b.busyAcc += minT
+		// Compact the active list.
+		out := b.active[:0]
+		for _, t := range b.active {
+			if t.remaining <= 1e-9 {
+				t.remaining = 0
+				t.done = true
+			} else {
+				out = append(out, t)
+			}
+		}
+		b.active = out
+		remainingDT -= minT
+	}
+}
+
+// Active returns the number of in-flight transfers.
+func (b *Bus) Active() int { return len(b.active) }
+
+// Bandwidth returns the aggregate bandwidth in bytes/second.
+func (b *Bus) Bandwidth() float64 { return b.bandwidth }
+
+// Utilization returns the fraction of elapsed seconds the bus was busy,
+// given the total elapsed simulation time.
+func (b *Bus) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := b.busyAcc / elapsed
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// BusySeconds returns cumulative seconds the bus spent moving data.
+func (b *Bus) BusySeconds() float64 { return b.busyAcc }
+
+// BytesMoved returns total payload+overhead bytes moved so far.
+func (b *Bus) BytesMoved() float64 { return b.moved }
+
+// TransfersStarted returns the number of transfers ever started.
+func (b *Bus) TransfersStarted() int { return b.started }
+
+// LatencyEstimate returns the time a transfer of size bytes would take
+// if it ran with the given number of concurrent competitors (including
+// itself). Used by migration-cost estimators (paper Section 3.1: the
+// policy filters requests on estimated cost).
+func (b *Bus) LatencyEstimate(size float64, competitors int) float64 {
+	if competitors < 1 {
+		competitors = 1
+	}
+	share := b.bandwidth / float64(competitors)
+	return b.overheadS + size/share
+}
+
+// ActiveLabels returns the labels of in-flight transfers, sorted, for
+// diagnostics.
+func (b *Bus) ActiveLabels() []string {
+	out := make([]string, 0, len(b.active))
+	for _, t := range b.active {
+		out = append(out, t.label)
+	}
+	sort.Strings(out)
+	return out
+}

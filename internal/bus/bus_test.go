@@ -1,0 +1,224 @@
+package bus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTest() *Bus {
+	return New(Params{BandwidthBytesPerSec: 1000, PerTransferOverheadS: 0.01})
+}
+
+func TestStartRejectsBadSize(t *testing.T) {
+	b := newTest()
+	if _, err := b.Start("x", 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("size 0 err = %v, want ErrBadSize", err)
+	}
+	if _, err := b.Start("x", -5); !errors.Is(err, ErrBadSize) {
+		t.Errorf("negative size err = %v, want ErrBadSize", err)
+	}
+}
+
+func TestSingleTransferLatency(t *testing.T) {
+	b := newTest()
+	tr, err := b.Start("solo", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// latency = overhead + size/bw = 0.01 + 0.5 = 0.51 s.
+	b.Advance(0.50)
+	if tr.Done() {
+		t.Fatal("transfer finished early")
+	}
+	b.Advance(0.02)
+	if !tr.Done() {
+		t.Fatalf("transfer not done after full latency; remaining %g", tr.Remaining())
+	}
+	if b.Active() != 0 {
+		t.Errorf("Active = %d after completion", b.Active())
+	}
+}
+
+func TestLatencyEstimateMatchesSimulation(t *testing.T) {
+	b := newTest()
+	est := b.LatencyEstimate(500, 1)
+	tr, _ := b.Start("solo", 500)
+	var elapsed float64
+	for !tr.Done() {
+		b.Advance(0.001)
+		elapsed += 0.001
+	}
+	if math.Abs(elapsed-est) > 0.005 {
+		t.Errorf("simulated %g vs estimate %g", elapsed, est)
+	}
+}
+
+func TestFairShareContention(t *testing.T) {
+	// Two equal transfers must finish together and take ~twice as long
+	// as one alone (plus overhead effects).
+	b := newTest()
+	t1, _ := b.Start("a", 500)
+	t2, _ := b.Start("b", 500)
+	var done1, done2 float64
+	for el := 0.0; !(t1.Done() && t2.Done()) && el < 10; el += 0.001 {
+		b.Advance(0.001)
+		if t1.Done() && done1 == 0 {
+			done1 = el
+		}
+		if t2.Done() && done2 == 0 {
+			done2 = el
+		}
+	}
+	if !t1.Done() || !t2.Done() {
+		t.Fatal("transfers never completed")
+	}
+	if math.Abs(done1-done2) > 0.002 {
+		t.Errorf("equal transfers finished at %g and %g, want together", done1, done2)
+	}
+	// Total work = 2*(500 + 10) bytes at 1000 B/s ≈ 1.02 s.
+	if done1 < 0.95 || done1 > 1.1 {
+		t.Errorf("contended completion at %g s, want ≈1.02", done1)
+	}
+}
+
+func TestShorterTransferFinishesFirst(t *testing.T) {
+	b := newTest()
+	small, _ := b.Start("small", 100)
+	big, _ := b.Start("big", 900)
+	for i := 0; i < 10000 && !big.Done(); i++ {
+		b.Advance(0.001)
+		if big.Done() && !small.Done() {
+			t.Fatal("big finished before small")
+		}
+	}
+	if !small.Done() || !big.Done() {
+		t.Fatal("transfers stuck")
+	}
+}
+
+func TestAdvanceAcrossCompletionBoundary(t *testing.T) {
+	// One giant Advance must process completions mid-interval and give
+	// remaining bandwidth to survivors.
+	b := newTest()
+	small, _ := b.Start("small", 100)
+	big, _ := b.Start("big", 900)
+	b.Advance(5)
+	if !small.Done() || !big.Done() {
+		t.Fatal("transfers not finished after long advance")
+	}
+	// Work: both run at 500 B/s until small (110 incl. overhead) done at
+	// t=0.22; big then has 910-110=800 left at 1000 B/s: total 1.02 s.
+	if got := b.Utilization(5); math.Abs(got-1.02/5) > 0.01 {
+		t.Errorf("utilization = %g, want ≈%g", got, 1.02/5)
+	}
+}
+
+func TestProgressAndAccessors(t *testing.T) {
+	b := newTest()
+	tr, _ := b.Start("x", 990)
+	if tr.Progress() != 0 {
+		t.Errorf("initial progress = %g", tr.Progress())
+	}
+	if tr.Label() != "x" {
+		t.Errorf("label = %q", tr.Label())
+	}
+	if tr.ID() != 0 {
+		t.Errorf("id = %d", tr.ID())
+	}
+	b.Advance(0.5)
+	if p := tr.Progress(); p <= 0 || p >= 1 {
+		t.Errorf("mid progress = %g", p)
+	}
+	b.Advance(1)
+	if tr.Progress() != 1 {
+		t.Errorf("final progress = %g", tr.Progress())
+	}
+	if b.TransfersStarted() != 1 {
+		t.Errorf("TransfersStarted = %d", b.TransfersStarted())
+	}
+	if b.BytesMoved() < 990 {
+		t.Errorf("BytesMoved = %g", b.BytesMoved())
+	}
+}
+
+func TestActiveLabelsSorted(t *testing.T) {
+	b := newTest()
+	b.Start("zeta", 100)
+	b.Start("alpha", 100)
+	got := b.ActiveLabels()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("ActiveLabels = %v", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(Params{})
+	if b.Bandwidth() != DefaultBandwidth {
+		t.Errorf("default bandwidth = %g", b.Bandwidth())
+	}
+	// Negative overhead clamps to zero.
+	b2 := New(Params{PerTransferOverheadS: -1})
+	if got := b2.LatencyEstimate(0.0001, 1); got > 1e-6 {
+		t.Errorf("negative overhead not clamped: latency %g", got)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	b := newTest()
+	if b.Utilization(0) != 0 {
+		t.Error("Utilization(0) != 0")
+	}
+	b.Start("x", 10000)
+	b.Advance(100)
+	if u := b.Utilization(0.001); u != 1 {
+		t.Errorf("utilization clamp = %g, want 1", u)
+	}
+}
+
+func TestZeroAndNegativeAdvanceNoOp(t *testing.T) {
+	b := newTest()
+	tr, _ := b.Start("x", 100)
+	b.Advance(0)
+	b.Advance(-1)
+	if tr.Progress() != 0 {
+		t.Error("Advance(<=0) moved data")
+	}
+}
+
+// Property: regardless of how an interval is subdivided, the same total
+// amount of data moves (work conservation).
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		b1 := newTest()
+		b2 := newTest()
+		tr1, _ := b1.Start("a", 700)
+		tr2, _ := b2.Start("a", 700)
+		var total float64
+		for _, c := range chunks {
+			d := float64(c) / 256 * 0.05
+			b1.Advance(d)
+			total += d
+		}
+		b2.Advance(total)
+		return math.Abs(tr1.Remaining()-tr2.Remaining()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: contention monotonicity — more competitors never shortens
+// the estimated latency.
+func TestLatencyEstimateMonotoneProperty(t *testing.T) {
+	b := newTest()
+	f := func(size uint16, n uint8) bool {
+		s := float64(size) + 1
+		k := int(n%8) + 1
+		return b.LatencyEstimate(s, k+1) >= b.LatencyEstimate(s, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"thermbal/internal/migrate"
+)
+
+// Ablation studies for the design choices of the balancing policy
+// (DESIGN.md): the master-daemon period that rate-limits migrations,
+// the TopK task-subset bound of the paper's Section 3.1 approximation,
+// the MiGra freeze-cost filter, the migration mechanism, and the
+// inter-task queue sizing. Each returns rows plus a formatter.
+
+// AblationRow is one configuration outcome.
+type AblationRow struct {
+	Label          string
+	PooledStdDev   float64
+	DeadlineMisses int64
+	Migrations     int
+	PerSec         float64
+	MeanFreezeMs   float64
+}
+
+func ablRow(label string, rc RunConfig) (AblationRow, error) {
+	res, _, err := Run(rc)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Label:          label,
+		PooledStdDev:   res.PooledStdDev,
+		DeadlineMisses: res.DeadlineMisses,
+		Migrations:     res.Migrations,
+		PerSec:         res.MigrationsPerSec,
+		MeanFreezeMs:   res.MeanFreezeS * 1e3,
+	}, nil
+}
+
+// FormatAblation renders rows as a titled table.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	b.WriteString("  config                 std[°C]  misses  migr   mig/s  freeze[ms]\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s %7.3f  %6d  %4d  %6.2f  %9.1f\n",
+			r.Label, r.PooledStdDev, r.DeadlineMisses, r.Migrations, r.PerSec, r.MeanFreezeMs)
+	}
+	return b.String()
+}
+
+// AblateDaemonPeriod varies the master-daemon evaluation period (the
+// migration rate limiter) at the operating threshold. Shorter periods
+// chase the temperature faster but multiply migrations.
+func AblateDaemonPeriod(periods []float64) ([]AblationRow, error) {
+	if len(periods) == 0 {
+		periods = []float64{0.05, 0.1, 0.3, 1.0, 3.0}
+	}
+	rows := make([]AblationRow, 0, len(periods))
+	for _, p := range periods {
+		r, err := ablRow(fmt.Sprintf("period=%.2fs", p), RunConfig{
+			Policy: ThermalBalance, Delta: 3, Package: Mobile, MinInterval: p,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblateTopK varies the number of highest-load tasks the selection
+// phase considers (the paper's Section 3.1 approximation: "limit the
+// number of tasks to be considered only to the few tasks having the
+// highest load").
+func AblateTopK(ks []int) ([]AblationRow, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 6}
+	}
+	rows := make([]AblationRow, 0, len(ks))
+	for _, k := range ks {
+		r, err := ablRow(fmt.Sprintf("topK=%d", k), RunConfig{
+			Policy: ThermalBalance, Delta: 3, Package: Mobile, TopK: k,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblateCostFilter varies the MiGra freeze-time budget. A very tight
+// budget filters every migration (the policy degenerates to DVFS), a
+// loose one admits everything.
+func AblateCostFilter(budgets []float64) ([]AblationRow, error) {
+	if len(budgets) == 0 {
+		budgets = []float64{0.05, 0.15, 0.25, 1.0}
+	}
+	rows := make([]AblationRow, 0, len(budgets))
+	for _, bud := range budgets {
+		r, err := ablRow(fmt.Sprintf("maxFreeze=%.0fms", bud*1e3), RunConfig{
+			Policy: ThermalBalance, Delta: 3, Package: Mobile, MaxFreezeS: bud,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblateMechanism compares task-replication against task-recreation at
+// the operating point (paper Section 3.2: replication trades memory for
+// speed).
+func AblateMechanism() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range []migrate.Mechanism{migrate.Replication, migrate.Recreation} {
+		r, err := ablRow(m.String(), RunConfig{
+			Policy: ThermalBalance, Delta: 3, Package: Mobile, Mechanism: m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblateQueueCap reproduces the queue-sizing observation (Section 5.2:
+// "the minimum queue size to sustain migration in our experiments was
+// 11 frames").
+func AblateQueueCap(caps []int) ([]AblationRow, error) {
+	if len(caps) == 0 {
+		caps = []int{3, 5, 8, 11, 16}
+	}
+	rows := make([]AblationRow, 0, len(caps))
+	for _, c := range caps {
+		r, err := ablRow(fmt.Sprintf("queue=%d frames", c), RunConfig{
+			Policy: ThermalBalance, Delta: 3, Package: Mobile, QueueCap: c,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AllAblations runs every ablation and renders them.
+func AllAblations() (string, error) {
+	var b strings.Builder
+	type study struct {
+		title string
+		run   func() ([]AblationRow, error)
+	}
+	studies := []study{
+		{"Ablation A1: master-daemon period (thermal-balance, ±3 °C, mobile)",
+			func() ([]AblationRow, error) { return AblateDaemonPeriod(nil) }},
+		{"Ablation A2: task-subset bound TopK",
+			func() ([]AblationRow, error) { return AblateTopK(nil) }},
+		{"Ablation A3: MiGra freeze-cost budget",
+			func() ([]AblationRow, error) { return AblateCostFilter(nil) }},
+		{"Ablation A4: migration mechanism",
+			AblateMechanism},
+		{"Ablation A5: queue capacity (paper: 11-frame minimum)",
+			func() ([]AblationRow, error) { return AblateQueueCap(nil) }},
+	}
+	for i, st := range studies {
+		rows, err := st.run()
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(FormatAblation(st.title, rows))
+		if i < len(studies)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}

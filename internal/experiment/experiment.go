@@ -1,0 +1,484 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment has a typed runner returning
+// the data series plus a formatter that prints rows shaped like the
+// paper's; cmd/figures and the root benchmarks call these.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"thermbal/internal/bus"
+	"thermbal/internal/core"
+	"thermbal/internal/dvfs"
+	"thermbal/internal/migrate"
+	"thermbal/internal/mpsoc"
+	"thermbal/internal/policy"
+	"thermbal/internal/power"
+	"thermbal/internal/sim"
+	"thermbal/internal/stream"
+	"thermbal/internal/task"
+	"thermbal/internal/thermal"
+)
+
+// PackageSel selects the thermal package (paper Section 4).
+type PackageSel int
+
+const (
+	// Mobile is the mobile-embedded package (slow dynamics).
+	Mobile PackageSel = iota
+	// HighPerf is the high-performance package (6x faster).
+	HighPerf
+)
+
+// String names the selection.
+func (p PackageSel) String() string {
+	if p == HighPerf {
+		return "high-performance"
+	}
+	return "mobile-embedded"
+}
+
+// Package returns the thermal parameters.
+func (p PackageSel) Package() thermal.Package {
+	if p == HighPerf {
+		return thermal.HighPerformance()
+	}
+	return thermal.MobileEmbedded()
+}
+
+// PolicySel selects one of the three compared policies (Section 5.2).
+type PolicySel int
+
+const (
+	// EnergyBalance is the static energy-balancing baseline.
+	EnergyBalance PolicySel = iota
+	// StopGo is the modified Stop&Go baseline.
+	StopGo
+	// ThermalBalance is the paper's migration-based policy.
+	ThermalBalance
+)
+
+// String names the policy.
+func (p PolicySel) String() string {
+	switch p {
+	case StopGo:
+		return "stop&go"
+	case ThermalBalance:
+		return "thermal-balance"
+	default:
+		return "energy-balance"
+	}
+}
+
+// Defaults shared by the sweep experiments.
+const (
+	// DefaultWarmupS is the paper's first execution phase (12.5 s).
+	DefaultWarmupS = 12.5
+	// DefaultMeasureS is the measurement window after the policy
+	// engages.
+	DefaultMeasureS = 30.0
+)
+
+// Deltas is the paper's threshold sweep: distance of the upper/lower
+// thresholds from the mean temperature, in °C.
+var Deltas = []float64{2, 3, 4, 5}
+
+// RunConfig fully describes one simulation run.
+type RunConfig struct {
+	Policy    PolicySel
+	Delta     float64 // threshold for StopGo/ThermalBalance
+	Package   PackageSel
+	WarmupS   float64 // default DefaultWarmupS
+	MeasureS  float64 // default DefaultMeasureS
+	Mechanism migrate.Mechanism
+	QueueCap  int // default stream.DefaultQueueCap
+	Trace     bool
+
+	// Balancer knobs (ThermalBalance only; zero = policy defaults).
+	// Used by the ablation studies.
+	MinInterval float64
+	TopK        int
+	MaxFreezeS  float64
+}
+
+func (rc *RunConfig) fill() {
+	if rc.WarmupS <= 0 {
+		rc.WarmupS = DefaultWarmupS
+	}
+	if rc.MeasureS <= 0 {
+		rc.MeasureS = DefaultMeasureS
+	}
+	if rc.QueueCap <= 0 {
+		rc.QueueCap = stream.DefaultQueueCap
+	}
+}
+
+func (rc RunConfig) policy() policy.Policy {
+	switch rc.Policy {
+	case StopGo:
+		return policy.NewStopGo(rc.Delta)
+	case ThermalBalance:
+		return core.New(core.Params{
+			Delta:       rc.Delta,
+			MinInterval: rc.MinInterval,
+			TopK:        rc.TopK,
+			MaxFreezeS:  rc.MaxFreezeS,
+		})
+	default:
+		return policy.EnergyBalance{}
+	}
+}
+
+// Run executes one configuration and returns its summary. The engine is
+// also returned for callers needing traces or raw state.
+func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
+	rc.fill()
+	g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: rc.QueueCap})
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	plat, err := mpsoc.New(mpsoc.Config{Package: rc.Package.Package()})
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	e, err := sim.New(sim.Config{
+		PolicyStartS:  rc.WarmupS,
+		MeasureStartS: rc.WarmupS,
+		Mechanism:     rc.Mechanism,
+		RecordTrace:   rc.Trace,
+	}, plat, g, rc.policy())
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	if rc.Delta > 0 {
+		e.SetOvershootDelta(rc.Delta)
+	}
+	if err := e.Run(rc.WarmupS + rc.MeasureS); err != nil {
+		return sim.Result{}, nil, err
+	}
+	return e.Summarize(), e, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — component power in 0.09 µm CMOS.
+
+// Table1Row is one component entry.
+type Table1Row struct {
+	Component string
+	MaxPowerW float64
+}
+
+// Table1 returns the component power table the models are anchored to.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"RISC32-streaming (Conf1)", power.RISC32StreamingMaxW},
+		{"RISC32-ARM11 (Conf2)", power.RISC32ARM11MaxW},
+		{"DCache 8kB/2way", power.DCacheMaxW},
+		{"ICache 8kB/DM", power.ICacheMaxW},
+		{"Memory 32kB", power.SharedMemMaxW},
+	}
+}
+
+// FormatTable1 renders the table like the paper's.
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Power of components in 0.09 um CMOS (Max. Power @ 500 MHz)\n")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "  %-26s %6.3f W\n", r.Component, r.MaxPowerW)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — application mapping.
+
+// Table2Row is one (core, task) entry with the load at the core's
+// running frequency.
+type Table2Row struct {
+	Core    int
+	FreqMHz float64
+	Task    string
+	LoadPct float64
+}
+
+// Table2 derives the static energy-balanced mapping: task placement
+// from the benchmark definition, frequencies from the DVFS ladder.
+func Table2() ([]Table2Row, error) {
+	g, err := stream.BuildSDR(stream.SDRConfig{})
+	if err != nil {
+		return nil, err
+	}
+	ladder := dvfs.Default()
+	// Per-core FSE sums -> frequency.
+	freq := map[int]float64{}
+	for c := 0; c < 3; c++ {
+		freq[c] = ladder.LevelFor(task.TotalFSE(task.OnCore(g.Tasks(), c)))
+	}
+	var rows []Table2Row
+	// Paper order: core 1 (BPF1, DEMOD), core 2 (BPF2, SUM),
+	// core 3 (BPF3, LPF).
+	order := []string{"BPF1", "DEMOD", "BPF2", "SUM", "BPF3", "LPF"}
+	for _, name := range order {
+		ti, ok := g.TaskIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("experiment: task %s missing", name)
+		}
+		t := g.Task(ti)
+		rows = append(rows, Table2Row{
+			Core:    t.Core + 1,
+			FreqMHz: freq[t.Core] / 1e6,
+			Task:    name,
+			LoadPct: 100 * ladder.UtilizationAt(t.FSE, freq[t.Core]),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the mapping like the paper's Table 2.
+func FormatTable2() (string, error) {
+	rows, err := Table2()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Table 2: Application mapping\n")
+	b.WriteString("  Core / freq.        Task    Load [%]\n")
+	last := -1
+	for _, r := range rows {
+		label := ""
+		if r.Core != last {
+			label = fmt.Sprintf("Core %d (%d MHz)", r.Core, int(r.FreqMHz))
+			last = r.Core
+		}
+		fmt.Fprintf(&b, "  %-18s  %-6s  %5.1f\n", label, r.Task, r.LoadPct)
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — migration cost vs task size for the two mechanisms.
+
+// Fig2Row is one (size, mechanism) cost point.
+type Fig2Row struct {
+	TaskSizeKB  int
+	Replication float64 // cost in processor cycles at 533 MHz
+	Recreation  float64
+}
+
+// Fig2Sizes is the default task-size sweep.
+var Fig2Sizes = []int{16, 32, 64, 128, 256, 384, 512}
+
+// Fig2 measures, by direct simulation of the middleware and bus, the
+// migration cost in processor cycles as a function of task size.
+func Fig2(sizesKB []int) ([]Fig2Row, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = Fig2Sizes
+	}
+	const fHz = 533e6
+	measure := func(mech migrate.Mechanism, sizeKB int) (float64, error) {
+		b := bus.New(bus.Params{})
+		m := migrate.NewManager(b, mech)
+		t := task.MustNew("probe", 0.3)
+		t.StateBytes = float64(sizeKB << 10)
+		t.CodeBytes = float64(sizeKB << 10) // image scales with task size
+		t.Core = 0
+		mg, err := m.Request(t, 0, 1, 0)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := m.AtCheckpoint(0, 0); err != nil {
+			return 0, err
+		}
+		const h = 1e-4
+		now := 0.0
+		for i := 0; i < 10_000_000 && mg.Phase != migrate.Done; i++ {
+			b.Advance(h)
+			now += h
+			m.Advance(now)
+		}
+		if mg.Phase != migrate.Done {
+			return 0, fmt.Errorf("experiment: migration of %d KB never finished", sizeKB)
+		}
+		return mg.FreezeDuration() * fHz, nil
+	}
+	rows := make([]Fig2Row, 0, len(sizesKB))
+	for _, kb := range sizesKB {
+		repl, err := measure(migrate.Replication, kb)
+		if err != nil {
+			return nil, err
+		}
+		recr, err := measure(migrate.Recreation, kb)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2Row{TaskSizeKB: kb, Replication: repl, Recreation: recr})
+	}
+	return rows, nil
+}
+
+// FormatFig2 renders the cost curves.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: Migration cost (Mcycles @533 MHz) vs task size\n")
+	b.WriteString("  size_KB   task-replication   task-recreation\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %7d   %16.2f   %15.2f\n", r.TaskSizeKB, r.Replication/1e6, r.Recreation/1e6)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figures 7-11 — the threshold sweeps.
+
+// SweepPoint is one (policy, delta) outcome.
+type SweepPoint struct {
+	Policy PolicySel
+	Delta  float64
+	Result sim.Result
+}
+
+// Sweep runs the three policies across the threshold values for one
+// package. EnergyBalance has no threshold, so it runs once and its
+// result is replicated across the delta axis (the paper plots it as a
+// flat reference line).
+func Sweep(pkg PackageSel, deltas []float64) ([]SweepPoint, error) {
+	if len(deltas) == 0 {
+		deltas = Deltas
+	}
+	var out []SweepPoint
+	ebRes, _, err := Run(RunConfig{Policy: EnergyBalance, Package: pkg})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deltas {
+		out = append(out, SweepPoint{Policy: EnergyBalance, Delta: d, Result: ebRes})
+	}
+	for _, pol := range []PolicySel{StopGo, ThermalBalance} {
+		for _, d := range deltas {
+			r, _, err := Run(RunConfig{Policy: pol, Delta: d, Package: pkg})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{Policy: pol, Delta: d, Result: r})
+		}
+	}
+	return out, nil
+}
+
+// series extracts, for each policy, the metric across deltas.
+func series(points []SweepPoint, deltas []float64, metric func(sim.Result) float64) map[PolicySel][]float64 {
+	out := map[PolicySel][]float64{}
+	for _, pol := range []PolicySel{EnergyBalance, StopGo, ThermalBalance} {
+		vals := make([]float64, len(deltas))
+		for i, d := range deltas {
+			for _, p := range points {
+				if p.Policy == pol && p.Delta == d {
+					vals[i] = metric(p.Result)
+				}
+			}
+		}
+		out[pol] = vals
+	}
+	return out
+}
+
+// FormatStdDevFigure renders Figures 7 (mobile) / 9 (high-perf):
+// temperature standard deviation vs threshold. Both the pooled
+// (space+time, the headline) and the purely spatial columns are shown
+// because the paper's Section 5 metric covers spatial and temporal
+// variance.
+func FormatStdDevFigure(fig string, pkg PackageSel, points []SweepPoint, deltas []float64) string {
+	if len(deltas) == 0 {
+		deltas = Deltas
+	}
+	pooled := series(points, deltas, func(r sim.Result) float64 { return r.PooledStdDev })
+	spatial := series(points, deltas, func(r sim.Result) float64 { return r.SpatialStdDev })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Temperature standard deviation [°C] vs threshold (%s)\n", fig, pkg)
+	b.WriteString("  delta   energy-balance      stop&go             thermal-balance\n")
+	b.WriteString("          pooled  spatial     pooled  spatial     pooled  spatial\n")
+	for i, d := range deltas {
+		fmt.Fprintf(&b, "  %5.0f   %6.3f  %7.3f     %6.3f  %7.3f     %6.3f  %7.3f\n", d,
+			pooled[EnergyBalance][i], spatial[EnergyBalance][i],
+			pooled[StopGo][i], spatial[StopGo][i],
+			pooled[ThermalBalance][i], spatial[ThermalBalance][i])
+	}
+	return b.String()
+}
+
+// FormatMissFigure renders Figures 8 (mobile) / 10 (high-perf):
+// deadline misses vs threshold.
+func FormatMissFigure(fig string, pkg PackageSel, points []SweepPoint, deltas []float64) string {
+	if len(deltas) == 0 {
+		deltas = Deltas
+	}
+	misses := series(points, deltas, func(r sim.Result) float64 { return float64(r.DeadlineMisses) })
+	rate := series(points, deltas, func(r sim.Result) float64 { return r.MissRatePct })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Deadline misses vs threshold (%s, %gs window)\n", fig, pkg, DefaultMeasureS)
+	b.WriteString("  delta   energy-balance     stop&go            thermal-balance\n")
+	b.WriteString("          misses  rate%      misses  rate%      misses  rate%\n")
+	for i, d := range deltas {
+		fmt.Fprintf(&b, "  %5.0f   %6.0f  %5.2f      %6.0f  %5.2f      %6.0f  %5.2f\n", d,
+			misses[EnergyBalance][i], rate[EnergyBalance][i],
+			misses[StopGo][i], rate[StopGo][i],
+			misses[ThermalBalance][i], rate[ThermalBalance][i])
+	}
+	return b.String()
+}
+
+// Fig11Point is one (package, delta) migration-rate sample.
+type Fig11Point struct {
+	Package PackageSel
+	Delta   float64
+	PerSec  float64
+	KBps    float64
+}
+
+// Fig11 extracts the thermal-balance migration rates for both packages
+// from pre-computed sweeps.
+func Fig11(mobile, highperf []SweepPoint, deltas []float64) []Fig11Point {
+	if len(deltas) == 0 {
+		deltas = Deltas
+	}
+	var out []Fig11Point
+	for _, set := range []struct {
+		pkg    PackageSel
+		points []SweepPoint
+	}{{Mobile, mobile}, {HighPerf, highperf}} {
+		rates := series(set.points, deltas, func(r sim.Result) float64 { return r.MigrationsPerSec })
+		kbps := series(set.points, deltas, func(r sim.Result) float64 { return r.BytesPerSec / 1024 })
+		for i, d := range deltas {
+			out = append(out, Fig11Point{
+				Package: set.pkg,
+				Delta:   d,
+				PerSec:  rates[ThermalBalance][i],
+				KBps:    kbps[ThermalBalance][i],
+			})
+		}
+	}
+	return out
+}
+
+// FormatFig11 renders the migrations-per-second figure.
+func FormatFig11(points []Fig11Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: Migrations per second (thermal-balance) for both systems\n")
+	b.WriteString("  delta   mobile (mig/s, KB/s)   high-perf (mig/s, KB/s)\n")
+	byKey := map[string]Fig11Point{}
+	deltaSet := map[float64]bool{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%v-%g", p.Package, p.Delta)] = p
+		deltaSet[p.Delta] = true
+	}
+	for _, d := range Deltas {
+		if !deltaSet[d] {
+			continue
+		}
+		m := byKey[fmt.Sprintf("%v-%g", Mobile, d)]
+		h := byKey[fmt.Sprintf("%v-%g", HighPerf, d)]
+		fmt.Fprintf(&b, "  %5.0f   %6.2f  %8.1f       %6.2f  %8.1f\n", d, m.PerSec, m.KBps, h.PerSec, h.KBps)
+	}
+	return b.String()
+}

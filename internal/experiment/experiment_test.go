@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermbal/internal/sim"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := map[string]float64{
+		"RISC32-streaming (Conf1)": 0.5,
+		"RISC32-ARM11 (Conf2)":     0.27,
+		"DCache 8kB/2way":          0.043,
+		"ICache 8kB/DM":            0.011,
+		"Memory 32kB":              0.015,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if w, ok := want[r.Component]; !ok || math.Abs(r.MaxPowerW-w) > 1e-12 {
+			t.Errorf("%s = %g, want %g", r.Component, r.MaxPowerW, want[r.Component])
+		}
+	}
+	if !strings.Contains(FormatTable1(), "RISC32-streaming") {
+		t.Error("FormatTable1 missing component")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table 2, within rounding of the FSE conversion.
+	want := []Table2Row{
+		{Core: 1, FreqMHz: 533, Task: "BPF1", LoadPct: 36.7},
+		{Core: 1, FreqMHz: 533, Task: "DEMOD", LoadPct: 28.3},
+		{Core: 2, FreqMHz: 266, Task: "BPF2", LoadPct: 60.9},
+		{Core: 2, FreqMHz: 266, Task: "SUM", LoadPct: 6.2},
+		{Core: 3, FreqMHz: 266, Task: "BPF3", LoadPct: 60.9},
+		{Core: 3, FreqMHz: 266, Task: "LPF", LoadPct: 18.8},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.Core != w.Core || g.Task != w.Task || g.FreqMHz != w.FreqMHz {
+			t.Errorf("row %d = %+v, want %+v", i, g, w)
+		}
+		if math.Abs(g.LoadPct-w.LoadPct) > 0.2 {
+			t.Errorf("%s load = %.1f%%, want %.1f%%", w.Task, g.LoadPct, w.LoadPct)
+		}
+	}
+	out, err := FormatTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Core 1 (533 MHz)") || !strings.Contains(out, "Core 3 (266 MHz)") {
+		t.Errorf("FormatTable2:\n%s", out)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows, err := Fig2([]int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Recreation costs more at every size (the Figure 2 offset).
+		if r.Recreation <= r.Replication {
+			t.Errorf("size %d: recreation %.0f <= replication %.0f", r.TaskSizeKB, r.Recreation, r.Replication)
+		}
+		// Both monotone increasing in size.
+		if i > 0 {
+			if r.Replication <= rows[i-1].Replication || r.Recreation <= rows[i-1].Recreation {
+				t.Errorf("cost not increasing at size %d", r.TaskSizeKB)
+			}
+		}
+	}
+	// Recreation has the steeper slope (bus contention from the code
+	// reload, paper Section 3.2).
+	slopeRepl := (rows[2].Replication - rows[0].Replication) / (256 - 16)
+	slopeRecr := (rows[2].Recreation - rows[0].Recreation) / (256 - 16)
+	if slopeRecr <= slopeRepl {
+		t.Errorf("recreation slope %.0f <= replication slope %.0f", slopeRecr, slopeRepl)
+	}
+	if !strings.Contains(FormatFig2(rows), "task-replication") {
+		t.Error("FormatFig2 missing header")
+	}
+}
+
+// Short-window smoke version of the sweeps: shapes must hold even with
+// a 10 s measurement (full windows run in the benchmarks / cmd).
+func shortSweep(t *testing.T, pkg PackageSel) []SweepPoint {
+	t.Helper()
+	var out []SweepPoint
+	deltas := []float64{2, 4}
+	ebRes, _, err := Run(RunConfig{Policy: EnergyBalance, Package: pkg, MeasureS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		out = append(out, SweepPoint{Policy: EnergyBalance, Delta: d, Result: ebRes})
+	}
+	for _, pol := range []PolicySel{StopGo, ThermalBalance} {
+		for _, d := range deltas {
+			r, _, err := Run(RunConfig{Policy: pol, Delta: d, Package: pkg, MeasureS: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, SweepPoint{Policy: pol, Delta: d, Result: r})
+		}
+	}
+	return out
+}
+
+func TestSweepShapesMobile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	deltas := []float64{2, 4}
+	points := shortSweep(t, Mobile)
+	pooled := series(points, deltas, func(r sim.Result) float64 { return r.PooledStdDev })
+	misses := series(points, deltas, func(r sim.Result) float64 { return float64(r.DeadlineMisses) })
+	// Figure 7 ordering: thermal balance lowest deviation.
+	for i := range deltas {
+		if !(pooled[ThermalBalance][i] < pooled[EnergyBalance][i]) {
+			t.Errorf("delta %g: TB pooled %.3f !< EB %.3f", deltas[i], pooled[ThermalBalance][i], pooled[EnergyBalance][i])
+		}
+		if !(pooled[ThermalBalance][i] < pooled[StopGo][i]) {
+			t.Errorf("delta %g: TB pooled %.3f !< S&G %.3f", deltas[i], pooled[ThermalBalance][i], pooled[StopGo][i])
+		}
+	}
+	// Figure 8: S&G misses far above TB.
+	for i := range deltas {
+		if misses[StopGo][i] < 50*math.Max(misses[ThermalBalance][i], 1) {
+			t.Errorf("delta %g: S&G misses %.0f not >> TB %.0f", deltas[i], misses[StopGo][i], misses[ThermalBalance][i])
+		}
+	}
+	// Figure 11: rate declines with threshold.
+	rates := series(points, deltas, func(r sim.Result) float64 { return r.MigrationsPerSec })
+	if !(rates[ThermalBalance][0] > rates[ThermalBalance][1]) {
+		t.Errorf("migration rate not declining: %v", rates[ThermalBalance])
+	}
+	// Formatters render.
+	if !strings.Contains(FormatStdDevFigure("Figure 7", Mobile, points, deltas), "thermal-balance") {
+		t.Error("FormatStdDevFigure broken")
+	}
+	if !strings.Contains(FormatMissFigure("Figure 8", Mobile, points, deltas), "misses") {
+		t.Error("FormatMissFigure broken")
+	}
+}
+
+func TestFig11HighPerfAboveMobile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	deltas := []float64{3}
+	run := func(pkg PackageSel) []SweepPoint {
+		r, _, err := Run(RunConfig{Policy: ThermalBalance, Delta: 3, Package: pkg, MeasureS: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []SweepPoint{{Policy: ThermalBalance, Delta: 3, Result: r}}
+	}
+	mob := run(Mobile)
+	hp := run(HighPerf)
+	pts := Fig11(mob, hp, deltas)
+	var mRate, hRate float64
+	for _, p := range pts {
+		if p.Package == Mobile {
+			mRate = p.PerSec
+		} else {
+			hRate = p.PerSec
+		}
+	}
+	if hRate <= mRate {
+		t.Errorf("high-perf %.2f/s <= mobile %.2f/s", hRate, mRate)
+	}
+	if !strings.Contains(FormatFig11(pts), "Figure 11") {
+		t.Error("FormatFig11 broken")
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	rc := RunConfig{}
+	rc.fill()
+	if rc.WarmupS != DefaultWarmupS || rc.MeasureS != DefaultMeasureS || rc.QueueCap != 11 {
+		t.Errorf("defaults = %+v", rc)
+	}
+}
+
+func TestSelectorsString(t *testing.T) {
+	if Mobile.String() != "mobile-embedded" || HighPerf.String() != "high-performance" {
+		t.Error("package names")
+	}
+	if EnergyBalance.String() != "energy-balance" || StopGo.String() != "stop&go" || ThermalBalance.String() != "thermal-balance" {
+		t.Error("policy names")
+	}
+}

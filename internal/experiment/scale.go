@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"thermbal/internal/core"
+	"thermbal/internal/floorplan"
+	"thermbal/internal/mpsoc"
+	"thermbal/internal/policy"
+	"thermbal/internal/sim"
+	"thermbal/internal/stream"
+	"thermbal/internal/thermal"
+)
+
+// Scalability study: the paper's framework "can be scaled to any number
+// of cores sub-systems" (Section 4). This experiment runs generated
+// streaming workloads on platforms of growing size under the balancing
+// policy, confirming the policy keeps working as the pairing space
+// grows.
+
+// ScaleRow is one platform-size outcome.
+type ScaleRow struct {
+	Cores          int
+	Tasks          int
+	PooledStdDev   float64
+	BaselineStdDev float64 // energy-balance reference on the same workload
+	DeadlineMisses int64
+	Migrations     int
+}
+
+// Scale runs the study for the given core counts (default 2,4,8).
+func Scale(coreCounts []int, seed int64) ([]ScaleRow, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = []int{2, 4, 8}
+	}
+	rows := make([]ScaleRow, 0, len(coreCounts))
+	for _, n := range coreCounts {
+		// Budget ~0.45 FSE per core so the greedy mapping is feasible
+		// at mid-ladder frequencies, leaving thermal contrast.
+		gen := stream.GenConfig{
+			Seed:     seed,
+			Stages:   n + 2,
+			MaxWidth: 3,
+			TotalFSE: 0.45 * float64(n),
+		}
+		runOne := func(pol policy.Policy) (sim.Result, error) {
+			g, err := stream.Generate(gen)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			policy.BalanceMapping(g.Tasks(), n)
+			plat, err := mpsoc.New(mpsoc.Config{
+				Floorplan: floorplanFor(n),
+				Package:   thermal.MobileEmbedded(),
+			})
+			if err != nil {
+				return sim.Result{}, err
+			}
+			e, err := sim.New(sim.Config{PolicyStartS: DefaultWarmupS, MeasureStartS: DefaultWarmupS},
+				plat, g, pol)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if err := e.Run(DefaultWarmupS + 20); err != nil {
+				return sim.Result{}, err
+			}
+			return e.Summarize(), nil
+		}
+		base, err := runOne(policy.EnergyBalance{})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: scale n=%d baseline: %w", n, err)
+		}
+		bal, err := runOne(core.New(core.Params{Delta: 2}))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: scale n=%d balanced: %w", n, err)
+		}
+		g, err := stream.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScaleRow{
+			Cores:          n,
+			Tasks:          g.NumTasks(),
+			PooledStdDev:   bal.PooledStdDev,
+			BaselineStdDev: base.PooledStdDev,
+			DeadlineMisses: bal.DeadlineMisses,
+			Migrations:     bal.Migrations,
+		})
+	}
+	return rows, nil
+}
+
+func floorplanFor(n int) *floorplan.Floorplan {
+	return floorplan.StreamingMPSoC(n)
+}
+
+// FormatScale renders the study.
+func FormatScale(rows []ScaleRow) string {
+	var b strings.Builder
+	b.WriteString("Scalability: generated workloads under thermal balancing (±2 °C, 20 s)\n")
+	b.WriteString("  cores  tasks   std[°C]  baseline-std  misses  migrations\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %5d  %5d   %7.3f  %12.3f  %6d  %10d\n",
+			r.Cores, r.Tasks, r.PooledStdDev, r.BaselineStdDev, r.DeadlineMisses, r.Migrations)
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+// Package floorplan models the 2-D geometry of an MPSoC die: rectangular
+// functional blocks, their placement, and the adjacency relation between
+// them. The thermal package builds its RC network from this geometry:
+// every block becomes a thermal node, and lateral heat spreading between
+// two blocks is proportional to the length of their shared edge.
+//
+// Dimensions are in metres. The package also ships the concrete floorplan
+// used throughout the reproduction: the 3-core streaming MPSoC of the
+// paper's Figure 5 (three RISC tiles, each with an I-cache and a D-cache,
+// plus a shared on-chip memory).
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BlockKind classifies a functional block. The power model uses the kind
+// to select the right component power figures (paper Table 1).
+type BlockKind int
+
+const (
+	// KindCore is a RISC processor tile.
+	KindCore BlockKind = iota
+	// KindICache is an instruction cache.
+	KindICache
+	// KindDCache is a data cache.
+	KindDCache
+	// KindSharedMem is the on-chip shared memory.
+	KindSharedMem
+	// KindInterconnect is bus / NoC area.
+	KindInterconnect
+	// KindOther is any block with no modelled activity (pads, glue).
+	KindOther
+)
+
+// String returns a human-readable name for the kind.
+func (k BlockKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindICache:
+		return "icache"
+	case KindDCache:
+		return "dcache"
+	case KindSharedMem:
+		return "sharedmem"
+	case KindInterconnect:
+		return "interconnect"
+	default:
+		return "other"
+	}
+}
+
+// Block is an axis-aligned rectangle on the die.
+type Block struct {
+	// Name uniquely identifies the block within a floorplan.
+	Name string
+	// Kind selects the power model for the block.
+	Kind BlockKind
+	// CoreID associates the block with a processor tile (caches carry
+	// the ID of their core). Blocks not tied to a core use -1.
+	CoreID int
+	// X, Y is the lower-left corner in metres.
+	X, Y float64
+	// W, H are width and height in metres.
+	W, H float64
+}
+
+// Area returns the block area in square metres.
+func (b Block) Area() float64 { return b.W * b.H }
+
+// CenterX returns the x coordinate of the block centre.
+func (b Block) CenterX() float64 { return b.X + b.W/2 }
+
+// CenterY returns the y coordinate of the block centre.
+func (b Block) CenterY() float64 { return b.Y + b.H/2 }
+
+// Adjacency records that two blocks share a boundary segment.
+type Adjacency struct {
+	// A and B are indices into Floorplan.Blocks, with A < B.
+	A, B int
+	// SharedEdge is the length in metres of the common boundary.
+	SharedEdge float64
+	// Distance is the centre-to-centre distance in metres.
+	Distance float64
+}
+
+// Floorplan is a validated set of placed blocks plus the derived
+// adjacency relation.
+type Floorplan struct {
+	Blocks      []Block
+	Adjacencies []Adjacency
+
+	byName map[string]int
+}
+
+// ErrEmpty is returned when a floorplan has no blocks.
+var ErrEmpty = errors.New("floorplan: no blocks")
+
+// geomEps absorbs floating-point noise when testing block contact and
+// overlap (1 nm at die scale).
+const geomEps = 1e-9
+
+// New validates the block set and computes adjacency. It returns an error
+// if blocks overlap, have non-positive dimensions, or share a name.
+func New(blocks []Block) (*Floorplan, error) {
+	if len(blocks) == 0 {
+		return nil, ErrEmpty
+	}
+	byName := make(map[string]int, len(blocks))
+	for i, b := range blocks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("floorplan: block %d has empty name", i)
+		}
+		if b.W <= 0 || b.H <= 0 {
+			return nil, fmt.Errorf("floorplan: block %q has non-positive size %gx%g", b.Name, b.W, b.H)
+		}
+		if j, dup := byName[b.Name]; dup {
+			return nil, fmt.Errorf("floorplan: duplicate block name %q (indices %d and %d)", b.Name, j, i)
+		}
+		byName[b.Name] = i
+	}
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			if overlapArea(blocks[i], blocks[j]) > geomEps {
+				return nil, fmt.Errorf("floorplan: blocks %q and %q overlap", blocks[i].Name, blocks[j].Name)
+			}
+		}
+	}
+	fp := &Floorplan{Blocks: append([]Block(nil), blocks...), byName: byName}
+	fp.computeAdjacency()
+	return fp, nil
+}
+
+// MustNew is New, panicking on error. Intended for package-level
+// floorplan constructors whose geometry is fixed at compile time.
+func MustNew(blocks []Block) *Floorplan {
+	fp, err := New(blocks)
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}
+
+// overlapArea returns the interior intersection area of two blocks.
+func overlapArea(a, b Block) float64 {
+	w := math.Min(a.X+a.W, b.X+b.W) - math.Max(a.X, b.X)
+	h := math.Min(a.Y+a.H, b.Y+b.H) - math.Max(a.Y, b.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// sharedEdge returns the length of the boundary segment two blocks share,
+// or 0 if they do not touch.
+func sharedEdge(a, b Block) float64 {
+	// Touching vertically (a right edge meets b left edge or vice versa).
+	if math.Abs((a.X+a.W)-b.X) < geomEps || math.Abs((b.X+b.W)-a.X) < geomEps {
+		lo := math.Max(a.Y, b.Y)
+		hi := math.Min(a.Y+a.H, b.Y+b.H)
+		if hi-lo > geomEps {
+			return hi - lo
+		}
+	}
+	// Touching horizontally.
+	if math.Abs((a.Y+a.H)-b.Y) < geomEps || math.Abs((b.Y+b.H)-a.Y) < geomEps {
+		lo := math.Max(a.X, b.X)
+		hi := math.Min(a.X+a.W, b.X+b.W)
+		if hi-lo > geomEps {
+			return hi - lo
+		}
+	}
+	return 0
+}
+
+func (fp *Floorplan) computeAdjacency() {
+	fp.Adjacencies = fp.Adjacencies[:0]
+	for i := 0; i < len(fp.Blocks); i++ {
+		for j := i + 1; j < len(fp.Blocks); j++ {
+			e := sharedEdge(fp.Blocks[i], fp.Blocks[j])
+			if e <= 0 {
+				continue
+			}
+			dx := fp.Blocks[i].CenterX() - fp.Blocks[j].CenterX()
+			dy := fp.Blocks[i].CenterY() - fp.Blocks[j].CenterY()
+			fp.Adjacencies = append(fp.Adjacencies, Adjacency{
+				A: i, B: j,
+				SharedEdge: e,
+				Distance:   math.Hypot(dx, dy),
+			})
+		}
+	}
+	sort.Slice(fp.Adjacencies, func(x, y int) bool {
+		ax, ay := fp.Adjacencies[x], fp.Adjacencies[y]
+		if ax.A != ay.A {
+			return ax.A < ay.A
+		}
+		return ax.B < ay.B
+	})
+}
+
+// Index returns the index of the named block and whether it exists.
+func (fp *Floorplan) Index(name string) (int, bool) {
+	i, ok := fp.byName[name]
+	return i, ok
+}
+
+// Block returns the named block. It panics if the name is unknown;
+// use Index for a soft lookup.
+func (fp *Floorplan) Block(name string) Block {
+	i, ok := fp.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("floorplan: unknown block %q", name))
+	}
+	return fp.Blocks[i]
+}
+
+// CoreBlocks returns the indices of all KindCore blocks, ordered by CoreID.
+func (fp *Floorplan) CoreBlocks() []int {
+	var out []int
+	for i, b := range fp.Blocks {
+		if b.Kind == KindCore {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		return fp.Blocks[out[x]].CoreID < fp.Blocks[out[y]].CoreID
+	})
+	return out
+}
+
+// BlocksOfCore returns the indices of all blocks belonging to the given
+// core tile (core + caches), in floorplan order.
+func (fp *Floorplan) BlocksOfCore(coreID int) []int {
+	var out []int
+	for i, b := range fp.Blocks {
+		if b.CoreID == coreID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumCores returns the number of KindCore blocks.
+func (fp *Floorplan) NumCores() int {
+	n := 0
+	for _, b := range fp.Blocks {
+		if b.Kind == KindCore {
+			n++
+		}
+	}
+	return n
+}
+
+// DieExtent returns the bounding box (x, y, w, h) of the whole floorplan.
+func (fp *Floorplan) DieExtent() (x, y, w, h float64) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, b := range fp.Blocks {
+		minX = math.Min(minX, b.X)
+		minY = math.Min(minY, b.Y)
+		maxX = math.Max(maxX, b.X+b.W)
+		maxY = math.Max(maxY, b.Y+b.H)
+	}
+	return minX, minY, maxX - minX, maxY - minY
+}
+
+// TotalArea returns the summed block area in square metres.
+func (fp *Floorplan) TotalArea() float64 {
+	var a float64
+	for _, b := range fp.Blocks {
+		a += b.Area()
+	}
+	return a
+}

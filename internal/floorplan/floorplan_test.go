@@ -1,0 +1,339 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err != ErrEmpty {
+		t.Fatalf("New(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNewRejectsBadBlocks(t *testing.T) {
+	cases := []struct {
+		name   string
+		blocks []Block
+		substr string
+	}{
+		{
+			name:   "empty name",
+			blocks: []Block{{Name: "", W: 1, H: 1}},
+			substr: "empty name",
+		},
+		{
+			name:   "zero width",
+			blocks: []Block{{Name: "a", W: 0, H: 1}},
+			substr: "non-positive size",
+		},
+		{
+			name:   "negative height",
+			blocks: []Block{{Name: "a", W: 1, H: -2}},
+			substr: "non-positive size",
+		},
+		{
+			name: "duplicate name",
+			blocks: []Block{
+				{Name: "a", W: 1, H: 1},
+				{Name: "a", X: 5, W: 1, H: 1},
+			},
+			substr: "duplicate",
+		},
+		{
+			name: "overlap",
+			blocks: []Block{
+				{Name: "a", W: 2, H: 2},
+				{Name: "b", X: 1, Y: 1, W: 2, H: 2},
+			},
+			substr: "overlap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.blocks)
+			if err == nil {
+				t.Fatalf("New(%v) succeeded, want error containing %q", tc.blocks, tc.substr)
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("New error = %q, want substring %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestTouchingBlocksDoNotOverlap(t *testing.T) {
+	fp, err := New([]Block{
+		{Name: "a", X: 0, Y: 0, W: 1, H: 1},
+		{Name: "b", X: 1, Y: 0, W: 1, H: 1},
+	})
+	if err != nil {
+		t.Fatalf("touching blocks rejected: %v", err)
+	}
+	if len(fp.Adjacencies) != 1 {
+		t.Fatalf("adjacencies = %d, want 1", len(fp.Adjacencies))
+	}
+	adj := fp.Adjacencies[0]
+	if adj.SharedEdge != 1 {
+		t.Errorf("shared edge = %g, want 1", adj.SharedEdge)
+	}
+	if math.Abs(adj.Distance-1) > 1e-12 {
+		t.Errorf("distance = %g, want 1", adj.Distance)
+	}
+}
+
+func TestPartialSharedEdge(t *testing.T) {
+	fp, err := New([]Block{
+		{Name: "a", X: 0, Y: 0, W: 1, H: 2},
+		{Name: "b", X: 1, Y: 1, W: 1, H: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Adjacencies) != 1 {
+		t.Fatalf("adjacencies = %d, want 1", len(fp.Adjacencies))
+	}
+	if got := fp.Adjacencies[0].SharedEdge; math.Abs(got-1) > 1e-12 {
+		t.Errorf("shared edge = %g, want 1", got)
+	}
+}
+
+func TestCornerContactIsNotAdjacent(t *testing.T) {
+	fp, err := New([]Block{
+		{Name: "a", X: 0, Y: 0, W: 1, H: 1},
+		{Name: "b", X: 1, Y: 1, W: 1, H: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Adjacencies) != 0 {
+		t.Fatalf("corner contact produced %d adjacencies, want 0", len(fp.Adjacencies))
+	}
+}
+
+func TestSeparatedBlocksNotAdjacent(t *testing.T) {
+	fp, err := New([]Block{
+		{Name: "a", X: 0, Y: 0, W: 1, H: 1},
+		{Name: "b", X: 3, Y: 0, W: 1, H: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Adjacencies) != 0 {
+		t.Fatalf("separated blocks adjacency = %d, want 0", len(fp.Adjacencies))
+	}
+}
+
+func TestIndexAndBlockLookup(t *testing.T) {
+	fp := Default3Core()
+	i, ok := fp.Index("core2")
+	if !ok {
+		t.Fatal("core2 not found")
+	}
+	if fp.Blocks[i].Name != "core2" {
+		t.Errorf("Index returned wrong block %q", fp.Blocks[i].Name)
+	}
+	if _, ok := fp.Index("nosuch"); ok {
+		t.Error("Index found nonexistent block")
+	}
+	b := fp.Block("sharedmem")
+	if b.Kind != KindSharedMem {
+		t.Errorf("sharedmem kind = %v", b.Kind)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Block(unknown) did not panic")
+		}
+	}()
+	fp.Block("nosuch")
+}
+
+func TestDefault3CoreStructure(t *testing.T) {
+	fp := Default3Core()
+	if got := fp.NumCores(); got != 3 {
+		t.Fatalf("NumCores = %d, want 3", got)
+	}
+	if got := len(fp.Blocks); got != 10 {
+		t.Fatalf("blocks = %d, want 10 (3x(core+i$+d$) + sharedmem)", got)
+	}
+	cores := fp.CoreBlocks()
+	if len(cores) != 3 {
+		t.Fatalf("CoreBlocks = %d, want 3", len(cores))
+	}
+	for i, ci := range cores {
+		if fp.Blocks[ci].CoreID != i {
+			t.Errorf("core block %d has CoreID %d, want %d", ci, fp.Blocks[ci].CoreID, i)
+		}
+	}
+	// Every tile owns exactly three blocks.
+	for id := 0; id < 3; id++ {
+		if got := len(fp.BlocksOfCore(id)); got != 3 {
+			t.Errorf("BlocksOfCore(%d) = %d blocks, want 3", id, got)
+		}
+	}
+	// The shared memory strip must touch all three tiles (it is the main
+	// lateral heat-spreading path in the thermal model).
+	smi, _ := fp.Index("sharedmem")
+	touches := map[int]bool{}
+	for _, adj := range fp.Adjacencies {
+		if adj.A == smi {
+			touches[fp.Blocks[adj.B].CoreID] = true
+		}
+		if adj.B == smi {
+			touches[fp.Blocks[adj.A].CoreID] = true
+		}
+	}
+	for id := 0; id < 3; id++ {
+		if !touches[id] {
+			t.Errorf("sharedmem does not touch tile %d", id)
+		}
+	}
+}
+
+func TestDefault3CoreChainTopology(t *testing.T) {
+	fp := Default3Core()
+	// core1 must reach core2's tile via the caches between them, and the
+	// icache of each tile must touch its own core.
+	for i := 1; i <= 3; i++ {
+		ci, _ := fp.Index(blockName("core", i))
+		ii, _ := fp.Index(blockName("icache", i))
+		if !adjacent(fp, ci, ii) {
+			t.Errorf("core%d not adjacent to icache%d", i, i)
+		}
+	}
+	// icache1/dcache1 are adjacent to core2 (tile boundary).
+	c2, _ := fp.Index("core2")
+	i1, _ := fp.Index("icache1")
+	d1, _ := fp.Index("dcache1")
+	if !adjacent(fp, c2, i1) || !adjacent(fp, c2, d1) {
+		t.Error("tile 1 caches not adjacent to core2: lateral chain broken")
+	}
+	// core1 and core3 are not directly adjacent.
+	c1, _ := fp.Index("core1")
+	c3, _ := fp.Index("core3")
+	if adjacent(fp, c1, c3) {
+		t.Error("core1 adjacent to core3, want separation")
+	}
+}
+
+func adjacent(fp *Floorplan, a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, adj := range fp.Adjacencies {
+		if adj.A == a && adj.B == b {
+			return true
+		}
+	}
+	return false
+}
+
+func blockName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestDieExtentAndArea(t *testing.T) {
+	fp := Default3Core()
+	x, y, w, h := fp.DieExtent()
+	if x != 0 || y != 0 {
+		t.Errorf("die origin = (%g,%g), want (0,0)", x, y)
+	}
+	if math.Abs(w-6*mm) > 1e-12 {
+		t.Errorf("die width = %g, want %g", w, 6*mm)
+	}
+	if math.Abs(h-2*mm) > 1e-12 {
+		t.Errorf("die height = %g, want %g", h, 2*mm)
+	}
+	// Blocks tile the die exactly in this floorplan.
+	if got, want := fp.TotalArea(), w*h; math.Abs(got-want) > 1e-12 {
+		t.Errorf("total block area = %g, want %g (die fully tiled)", got, want)
+	}
+}
+
+func TestStreamingMPSoCScales(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		fp := StreamingMPSoC(n)
+		if fp.NumCores() != n {
+			t.Errorf("StreamingMPSoC(%d).NumCores = %d", n, fp.NumCores())
+		}
+		if len(fp.Blocks) != 3*n+1 {
+			t.Errorf("StreamingMPSoC(%d) blocks = %d, want %d", n, len(fp.Blocks), 3*n+1)
+		}
+	}
+}
+
+func TestStreamingMPSoCPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StreamingMPSoC(0) did not panic")
+		}
+	}()
+	StreamingMPSoC(0)
+}
+
+// Property: adjacency is symmetric in construction (A < B held) and the
+// shared edge length never exceeds the smaller block perimeter dimension.
+func TestAdjacencyProperties(t *testing.T) {
+	fp := Default3Core()
+	for _, adj := range fp.Adjacencies {
+		if adj.A >= adj.B {
+			t.Errorf("adjacency not ordered: %+v", adj)
+		}
+		a, b := fp.Blocks[adj.A], fp.Blocks[adj.B]
+		maxEdge := math.Max(math.Max(a.W, a.H), math.Max(b.W, b.H))
+		if adj.SharedEdge > maxEdge+1e-12 {
+			t.Errorf("shared edge %g longer than any block side %g", adj.SharedEdge, maxEdge)
+		}
+		if adj.Distance <= 0 {
+			t.Errorf("non-positive centre distance %g", adj.Distance)
+		}
+	}
+}
+
+// Property-based: overlapArea is symmetric and non-negative for arbitrary
+// block pairs.
+func TestOverlapAreaProperties(t *testing.T) {
+	f := func(ax, ay, bx, by uint8, aw, ah, bw, bh uint8) bool {
+		a := Block{Name: "a", X: float64(ax), Y: float64(ay), W: float64(aw%16) + 1, H: float64(ah%16) + 1}
+		b := Block{Name: "b", X: float64(bx), Y: float64(by), W: float64(bw%16) + 1, H: float64(bh%16) + 1}
+		o1, o2 := overlapArea(a, b), overlapArea(b, a)
+		if o1 < 0 || o2 < 0 {
+			return false
+		}
+		return math.Abs(o1-o2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property-based: sharedEdge is symmetric.
+func TestSharedEdgeSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by uint8, aw, ah, bw, bh uint8) bool {
+		a := Block{X: float64(ax % 8), Y: float64(ay % 8), W: float64(aw%8) + 1, H: float64(ah%8) + 1}
+		b := Block{X: float64(bx % 8), Y: float64(by % 8), W: float64(bw%8) + 1, H: float64(bh%8) + 1}
+		return math.Abs(sharedEdge(a, b)-sharedEdge(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	kinds := map[BlockKind]string{
+		KindCore:         "core",
+		KindICache:       "icache",
+		KindDCache:       "dcache",
+		KindSharedMem:    "sharedmem",
+		KindInterconnect: "interconnect",
+		KindOther:        "other",
+		BlockKind(99):    "other",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("BlockKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file implements reading and writing the HotSpot ".flp" floorplan
+// format, so floorplans can be exchanged with the original HotSpot
+// tooling the paper's thermal library is based on [Skadron et al.].
+//
+// Each non-comment line is:
+//
+//	<unit-name> <width-m> <height-m> <left-x-m> <bottom-y-m>
+//
+// Lines starting with '#' and blank lines are ignored. Block kind and
+// core association are inferred from the unit name: "core3", "icache2",
+// "dcache1", "sharedmem"/"mem", "bus"/"noc"; anything else is KindOther.
+
+var nameNum = regexp.MustCompile(`^([a-zA-Z_$]+)(\d*)$`)
+
+// inferKind derives (kind, coreID) from a HotSpot unit name.
+func inferKind(name string) (BlockKind, int) {
+	m := nameNum.FindStringSubmatch(name)
+	if m == nil {
+		return KindOther, -1
+	}
+	base := strings.ToLower(m[1])
+	id := -1
+	if m[2] != "" {
+		// HotSpot names are 1-based ("core1"); CoreID is 0-based.
+		if v, err := strconv.Atoi(m[2]); err == nil && v > 0 {
+			id = v - 1
+		}
+	}
+	switch base {
+	case "core", "cpu", "proc":
+		return KindCore, id
+	case "icache", "il", "i$":
+		return KindICache, id
+	case "dcache", "dl", "d$":
+		return KindDCache, id
+	case "sharedmem", "mem", "sram", "memory":
+		return KindSharedMem, -1
+	case "bus", "noc", "xbar", "interconnect":
+		return KindInterconnect, -1
+	default:
+		return KindOther, -1
+	}
+}
+
+// ParseFLP reads a HotSpot-format floorplan.
+func ParseFLP(r io.Reader) (*Floorplan, error) {
+	sc := bufio.NewScanner(r)
+	var blocks []Block
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("floorplan: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: line %d field %d: %w", lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		kind, coreID := inferKind(fields[0])
+		blocks = append(blocks, Block{
+			Name:   fields[0],
+			Kind:   kind,
+			CoreID: coreID,
+			W:      vals[0],
+			H:      vals[1],
+			X:      vals[2],
+			Y:      vals[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("floorplan: %w", err)
+	}
+	return New(blocks)
+}
+
+// WriteFLP renders the floorplan in HotSpot format.
+func (fp *Floorplan) WriteFLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Floorplan: %d blocks (HotSpot .flp format)\n", len(fp.Blocks))
+	fmt.Fprintf(bw, "# <unit-name> <width> <height> <left-x> <bottom-y>\n")
+	for _, b := range fp.Blocks {
+		fmt.Fprintf(bw, "%s\t%.6e\t%.6e\t%.6e\t%.6e\n", b.Name, b.W, b.H, b.X, b.Y)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,113 @@
+package floorplan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	fp := Default3Core()
+	var sb strings.Builder
+	if err := fp.WriteFLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFLP(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse back failed: %v\n%s", err, sb.String())
+	}
+	if len(back.Blocks) != len(fp.Blocks) {
+		t.Fatalf("blocks = %d, want %d", len(back.Blocks), len(fp.Blocks))
+	}
+	for i, b := range fp.Blocks {
+		g := back.Blocks[i]
+		if g.Name != b.Name || g.Kind != b.Kind || g.CoreID != b.CoreID {
+			t.Errorf("block %d identity: %+v vs %+v", i, g, b)
+		}
+		if absDiff(g.X, b.X) > 1e-9 || absDiff(g.W, b.W) > 1e-9 {
+			t.Errorf("block %d geometry drift", i)
+		}
+	}
+	if len(back.Adjacencies) != len(fp.Adjacencies) {
+		t.Errorf("adjacency count %d vs %d", len(back.Adjacencies), len(fp.Adjacencies))
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestParseFLPFormats(t *testing.T) {
+	in := `
+# comment line
+
+core1	1.4e-3	1.4e-3	0	0
+icache1	0.6e-3	0.6e-3	1.4e-3	0
+mem	2.0e-3	0.6e-3	0	1.4e-3
+weird$unit	1e-3	1e-3	2.0e-3	1.4e-3
+`
+	fp, err := ParseFLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumCores() != 1 {
+		t.Errorf("cores = %d", fp.NumCores())
+	}
+	b := fp.Block("core1")
+	if b.Kind != KindCore || b.CoreID != 0 {
+		t.Errorf("core1 = %+v", b)
+	}
+	if fp.Block("icache1").Kind != KindICache {
+		t.Error("icache kind")
+	}
+	if fp.Block("mem").Kind != KindSharedMem {
+		t.Error("mem kind")
+	}
+	if fp.Block("weird$unit").Kind != KindOther {
+		t.Error("unknown name not KindOther")
+	}
+}
+
+func TestParseFLPErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"short line", "core1 1 2 3\n"},
+		{"bad number", "core1 x 2 3 4\n"},
+		{"empty", ""},
+		{"overlap", "core1 1 1 0 0\ncore2 1 1 0.5 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseFLP(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestInferKindAliases(t *testing.T) {
+	cases := map[string]BlockKind{
+		"cpu2":   KindCore,
+		"proc1":  KindCore,
+		"il13":   KindICache,
+		"dl11":   KindDCache,
+		"sram":   KindSharedMem,
+		"memory": KindSharedMem,
+		"noc":    KindInterconnect,
+		"bus":    KindInterconnect,
+		"rng":    KindOther,
+	}
+	for name, want := range cases {
+		if got, _ := inferKind(name); got != want {
+			t.Errorf("inferKind(%q) = %v, want %v", name, got, want)
+		}
+	}
+	// 1-based numbering maps to 0-based core IDs.
+	if _, id := inferKind("core3"); id != 2 {
+		t.Errorf("core3 id = %d, want 2", id)
+	}
+	if _, id := inferKind("core"); id != -1 {
+		t.Errorf("unnumbered core id = %d, want -1", id)
+	}
+}

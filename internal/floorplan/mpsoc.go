@@ -1,0 +1,61 @@
+package floorplan
+
+import "fmt"
+
+// Geometry constants for the emulated streaming MPSoC die (the paper's
+// Figure 5 equivalent). Dimensions are representative of 90 nm RISC tiles:
+// each tile is 2.0 x 1.4 mm (core plus its I/D caches) and a shared-memory
+// strip spans the top of the die. The three tiles sit in a row, so core 1
+// and core 3 are edge tiles while core 2 sits between them: with core 1
+// dissipating the most power, core 2 ends up slightly warmer than core 3
+// even at the same frequency, matching the paper's observation.
+const (
+	mm = 1e-3 // metres per millimetre
+
+	tileW   = 2.0 * mm // tile pitch along x
+	coreW   = 1.4 * mm
+	coreH   = 1.4 * mm
+	cacheW  = 0.6 * mm
+	icacheH = 0.6 * mm
+	dcacheH = 0.8 * mm
+	memH    = 0.6 * mm // shared-memory strip height
+)
+
+// StreamingMPSoC returns the floorplan of the paper's emulated platform:
+// n RISC tiles in a row (core, I-cache, D-cache each) with a shared
+// on-chip memory strip spanning the die above them. The paper uses n = 3.
+//
+// Block naming: "core<i>", "icache<i>", "dcache<i>" for i in 1..n,
+// plus "sharedmem". Core IDs are 0-based.
+func StreamingMPSoC(n int) *Floorplan {
+	if n < 1 {
+		panic(fmt.Sprintf("floorplan: StreamingMPSoC needs at least 1 core, got %d", n))
+	}
+	blocks := make([]Block, 0, 3*n+1)
+	for i := 0; i < n; i++ {
+		x0 := float64(i) * tileW
+		blocks = append(blocks,
+			Block{
+				Name: fmt.Sprintf("core%d", i+1), Kind: KindCore, CoreID: i,
+				X: x0, Y: 0, W: coreW, H: coreH,
+			},
+			Block{
+				Name: fmt.Sprintf("icache%d", i+1), Kind: KindICache, CoreID: i,
+				X: x0 + coreW, Y: 0, W: cacheW, H: icacheH,
+			},
+			Block{
+				Name: fmt.Sprintf("dcache%d", i+1), Kind: KindDCache, CoreID: i,
+				X: x0 + coreW, Y: icacheH, W: cacheW, H: dcacheH,
+			},
+		)
+	}
+	blocks = append(blocks, Block{
+		Name: "sharedmem", Kind: KindSharedMem, CoreID: -1,
+		X: 0, Y: coreH, W: float64(n) * tileW, H: memH,
+	})
+	return MustNew(blocks)
+}
+
+// Default3Core is the floorplan used by every experiment in the paper:
+// three RISC tiles plus shared memory.
+func Default3Core() *Floorplan { return StreamingMPSoC(3) }

@@ -1,0 +1,177 @@
+package mpsoc
+
+import (
+	"math"
+	"testing"
+
+	"thermbal/internal/floorplan"
+	"thermbal/internal/thermal"
+)
+
+func newPlat(t *testing.T) *Platform {
+	t.Helper()
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaults(t *testing.T) {
+	p := newPlat(t)
+	if p.NumCores() != 3 {
+		t.Fatalf("NumCores = %d", p.NumCores())
+	}
+	for c := 0; c < 3; c++ {
+		if !p.Powered(c) {
+			t.Errorf("core %d not powered initially", c)
+		}
+		if p.Frequency(c) != 133e6 {
+			t.Errorf("core %d initial freq = %g, want ladder min", c, p.Frequency(c))
+		}
+		if p.CoreTemp(c) != 25 {
+			t.Errorf("core %d initial temp = %g, want ambient", c, p.CoreTemp(c))
+		}
+	}
+}
+
+func TestNewRejectsCorelessFloorplan(t *testing.T) {
+	fp := floorplan.MustNew([]floorplan.Block{
+		{Name: "mem", Kind: floorplan.KindSharedMem, CoreID: -1, W: 1e-3, H: 1e-3},
+	})
+	if _, err := New(Config{Floorplan: fp}); err == nil {
+		t.Error("floorplan without cores accepted")
+	}
+}
+
+func TestSetPoweredGatesFrequency(t *testing.T) {
+	p := newPlat(t)
+	p.Gov.Update(0, 0.65)
+	if p.Frequency(0) != 533e6 {
+		t.Fatalf("freq = %g", p.Frequency(0))
+	}
+	p.SetPowered(0, false, 0)
+	if p.Powered(0) || p.Frequency(0) != 0 {
+		t.Error("stop did not gate the core")
+	}
+	// Redundant stop is a no-op.
+	p.SetPowered(0, false, 0)
+	p.SetPowered(0, true, 0.65)
+	if !p.Powered(0) || p.Frequency(0) != 533e6 {
+		t.Errorf("restart state: powered=%v freq=%g", p.Powered(0), p.Frequency(0))
+	}
+}
+
+func TestCoreTempsBuffer(t *testing.T) {
+	p := newPlat(t)
+	ts := p.CoreTemps(nil)
+	if len(ts) != 3 {
+		t.Fatalf("CoreTemps len = %d", len(ts))
+	}
+	reuse := make([]float64, 3)
+	if got := p.CoreTemps(reuse); &got[0] != &reuse[0] {
+		t.Error("CoreTemps did not reuse buffer")
+	}
+}
+
+func TestAccountAndFlushWindow(t *testing.T) {
+	p := newPlat(t)
+	p.Gov.Update(0, 0.65) // 533 MHz
+	const tick = 100e-6
+	const window = 10e-3
+	// 100 ticks of 65% busy on core 0, idle elsewhere.
+	for i := 0; i < 100; i++ {
+		for c := 0; c < 3; c++ {
+			busy := 0.0
+			if c == 0 {
+				busy = 0.65 * p.Frequency(0) * tick
+			}
+			p.AccountTick(c, tick, busy)
+		}
+		p.AccountShared(tick)
+	}
+	util, err := p.FlushWindow(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(util[0]-0.65) > 1e-9 {
+		t.Errorf("core0 window utilization = %g, want 0.65", util[0])
+	}
+	if util[1] != 0 {
+		t.Errorf("core1 utilization = %g, want 0", util[1])
+	}
+	if p.TotalEnergyJ <= 0 {
+		t.Error("no energy accumulated")
+	}
+	// The heated core must warm above ambient after the flush.
+	if p.CoreTemp(0) <= 25 {
+		t.Errorf("core0 temp = %g after heating window", p.CoreTemp(0))
+	}
+	// Window accumulators reset: an immediate flush yields zero power.
+	e0 := p.TotalEnergyJ
+	if _, err := p.FlushWindow(window); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalEnergyJ != e0 {
+		t.Error("energy accrued from empty window")
+	}
+}
+
+func TestAccountTickClampsUtilization(t *testing.T) {
+	p := newPlat(t)
+	p.Gov.Update(0, 0.65)
+	// Report more busy cycles than capacity: power must not explode.
+	p.AccountTick(0, 100e-6, 1e12)
+	util, err := p.FlushWindow(10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = util
+	if p.TotalEnergyJ > 1e-3 {
+		t.Errorf("energy %g J from one clamped tick", p.TotalEnergyJ)
+	}
+}
+
+func TestSettleThermalMatchesLongRun(t *testing.T) {
+	// SettleThermal must land near the temperatures a long constant-load
+	// simulation reaches.
+	pA := newPlat(t)
+	pB := newPlat(t)
+	for _, p := range []*Platform{pA, pB} {
+		p.Gov.Update(0, 0.65)
+		p.Gov.Update(1, 0.335)
+		p.Gov.Update(2, 0.398)
+	}
+	util := []float64{0.65, 0.67, 0.8}
+	if err := pA.SettleThermal(util); err != nil {
+		t.Fatal(err)
+	}
+	// Long run on pB with matching per-tick accounting.
+	const tick = 1e-3
+	for i := 0; i < 60000; i++ {
+		for c := 0; c < 3; c++ {
+			p := pB
+			p.AccountTick(c, tick, util[c]*p.Frequency(c)*tick)
+		}
+		if i%10 == 9 {
+			if _, err := pB.FlushWindow(10 * tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if d := math.Abs(pA.CoreTemp(c) - pB.CoreTemp(c)); d > 1.0 {
+			t.Errorf("core%d: settle %g vs simulated %g", c+1, pA.CoreTemp(c), pB.CoreTemp(c))
+		}
+	}
+}
+
+func TestHighPerformancePlatform(t *testing.T) {
+	p, err := New(Config{Package: thermal.HighPerformance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Thermal.Package().Name != "high-performance" {
+		t.Errorf("package = %q", p.Thermal.Package().Name)
+	}
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermbal/internal/task"
+)
+
+func TestBalanceMappingSDRLoads(t *testing.T) {
+	// The SDR task set: the greedy mapping must produce per-core totals
+	// equivalent to the paper's Table 2 (0.65 / 0.335 / 0.398 within
+	// permutation).
+	tasks := []*task.Task{
+		task.MustNew("BPF1", 0.367),
+		task.MustNew("DEMOD", 0.283),
+		task.MustNew("BPF2", 0.304),
+		task.MustNew("SUM", 0.031),
+		task.MustNew("BPF3", 0.304),
+		task.MustNew("LPF", 0.094),
+	}
+	load := BalanceMapping(tasks, 3)
+	if len(load) != 3 {
+		t.Fatalf("loads = %v", load)
+	}
+	var total float64
+	for _, l := range load {
+		total += l
+	}
+	if math.Abs(total-1.383) > 1e-9 {
+		t.Errorf("total = %g", total)
+	}
+	// Greedy LPT keeps the spread small: max-min below the largest task.
+	max, min := load[0], load[0]
+	for _, l := range load {
+		max = math.Max(max, l)
+		min = math.Min(min, l)
+	}
+	if max-min > 0.367 {
+		t.Errorf("imbalance %g exceeds largest task", max-min)
+	}
+	// Every task placed on a valid core.
+	for _, tk := range tasks {
+		if tk.Core < 0 || tk.Core > 2 {
+			t.Errorf("task %s on core %d", tk.Name, tk.Core)
+		}
+	}
+}
+
+func TestBalanceMappingSingleCore(t *testing.T) {
+	tasks := []*task.Task{task.MustNew("a", 0.5), task.MustNew("b", 0.3)}
+	load := BalanceMapping(tasks, 1)
+	if math.Abs(load[0]-0.8) > 1e-12 {
+		t.Errorf("load = %v", load)
+	}
+	if tasks[0].Core != 0 || tasks[1].Core != 0 {
+		t.Error("not all tasks on core 0")
+	}
+}
+
+func TestBalanceMappingPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 cores")
+		}
+	}()
+	BalanceMapping(nil, 0)
+}
+
+func TestBalanceMappingDeterministic(t *testing.T) {
+	mk := func() []*task.Task {
+		return []*task.Task{
+			task.MustNew("a", 0.3), task.MustNew("b", 0.3),
+			task.MustNew("c", 0.2), task.MustNew("d", 0.2),
+		}
+	}
+	t1, t2 := mk(), mk()
+	BalanceMapping(t1, 2)
+	BalanceMapping(t2, 2)
+	for i := range t1 {
+		if t1[i].Core != t2[i].Core {
+			t.Fatal("mapping not deterministic (equal-FSE tiebreak unstable)")
+		}
+	}
+}
+
+// Property: greedy LPT never leaves a core empty while another core has
+// two or more tasks whose smallest would fit better there (weak
+// balance: max load <= min load + largest task FSE).
+func TestBalanceMappingBoundProperty(t *testing.T) {
+	f := func(raw []uint8, coresRaw uint8) bool {
+		n := int(coresRaw%4) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		tasks := make([]*task.Task, len(raw))
+		var largest float64
+		for i, r := range raw {
+			fse := 0.01 + float64(r)/256*0.9
+			tasks[i] = task.MustNew(string(rune('a'+i)), fse)
+			if fse > largest {
+				largest = fse
+			}
+		}
+		load := BalanceMapping(tasks, n)
+		max, min := load[0], load[0]
+		for _, l := range load {
+			max = math.Max(max, l)
+			min = math.Min(min, l)
+		}
+		return max-min <= largest+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package policy
+
+import (
+	"testing"
+)
+
+func snap(temps []float64, powered []bool) *Snapshot {
+	var mean float64
+	for _, t := range temps {
+		mean += t
+	}
+	mean /= float64(len(temps))
+	freqs := make([]float64, len(temps))
+	for i := range freqs {
+		freqs[i] = 266e6
+	}
+	return &Snapshot{
+		Temp:     temps,
+		Freq:     freqs,
+		Powered:  powered,
+		MeanTemp: mean,
+		MeanFreq: 266e6,
+	}
+}
+
+func TestNoneAndEnergyBalanceDoNothing(t *testing.T) {
+	s := snap([]float64{70, 50, 50}, []bool{true, true, true})
+	if acts := (None{}).Decide(s); acts != nil {
+		t.Errorf("None acted: %v", acts)
+	}
+	if acts := (EnergyBalance{}).Decide(s); acts != nil {
+		t.Errorf("EnergyBalance acted: %v", acts)
+	}
+	if (None{}).Name() != "none" || (EnergyBalance{}).Name() != "energy-balance" {
+		t.Error("names wrong")
+	}
+}
+
+func TestStopGoStopsHotCore(t *testing.T) {
+	p := NewStopGo(3)
+	if p.Name() != "stop&go" {
+		t.Errorf("name = %q", p.Name())
+	}
+	s := snap([]float64{62, 54, 52}, []bool{true, true, true})
+	acts := p.Decide(s)
+	if len(acts) != 1 {
+		t.Fatalf("actions = %v", acts)
+	}
+	stop, ok := acts[0].(StopCore)
+	if !ok || stop.Core != 0 {
+		t.Fatalf("action = %v, want StopCore{0}", acts[0])
+	}
+}
+
+func TestStopGoRestartUsesStopReference(t *testing.T) {
+	p := NewStopGo(3)
+	// Stop at mean 56: reference anchored there.
+	s := snap([]float64{62, 54, 52}, []bool{true, true, true})
+	p.Decide(s)
+
+	// Whole chip cools together: the moving mean chases the core down,
+	// but the anchored reference must still release it once it is 3
+	// degrees below the stop-time mean (56 - 3 = 53).
+	s2 := snap([]float64{54, 40, 40}, []bool{false, true, true})
+	if acts := p.Decide(s2); len(acts) != 0 {
+		t.Errorf("released at 54 > 53: %v", acts)
+	}
+	s3 := snap([]float64{52.9, 40, 40}, []bool{false, true, true})
+	acts := p.Decide(s3)
+	if len(acts) != 1 {
+		t.Fatalf("not released at 52.9 < 53: %v", acts)
+	}
+	if start, ok := acts[0].(StartCore); !ok || start.Core != 0 {
+		t.Fatalf("action = %v, want StartCore{0}", acts[0])
+	}
+	// Reference consumed: a second stop re-anchors.
+	if _, tracked := p.stopRef[0]; tracked {
+		t.Error("stop reference not cleared after restart")
+	}
+}
+
+func TestStopGoInsideBandDoesNothing(t *testing.T) {
+	p := NewStopGo(5)
+	s := snap([]float64{58, 54, 52}, []bool{true, true, true})
+	if acts := p.Decide(s); acts != nil {
+		t.Errorf("acted inside band: %v", acts)
+	}
+}
+
+func TestStopGoZeroValueUsable(t *testing.T) {
+	// The zero value (no map) must not panic.
+	var p StopGo
+	p.Delta = 3
+	s := snap([]float64{62, 54, 52}, []bool{true, true, true})
+	if acts := p.Decide(s); len(acts) != 1 {
+		t.Errorf("zero-value StopGo failed: %v", acts)
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	s := snap([]float64{60, 50}, []bool{true, true})
+	s.Tasks = []TaskView{
+		{Index: 0, Name: "a", Core: 0, FSE: 0.3},
+		{Index: 1, Name: "b", Core: 1, FSE: 0.2},
+		{Index: 2, Name: "c", Core: 0, FSE: 0.1},
+	}
+	if s.NumCores() != 2 {
+		t.Errorf("NumCores = %d", s.NumCores())
+	}
+	if got := s.FSEOn(0); got != 0.4 {
+		t.Errorf("FSEOn(0) = %g", got)
+	}
+	on0 := s.TasksOn(0)
+	if len(on0) != 2 || on0[0].Name != "a" || on0[1].Name != "c" {
+		t.Errorf("TasksOn(0) = %v", on0)
+	}
+}
+
+func TestActionStringsNonEmpty(t *testing.T) {
+	for _, a := range []Action{Migrate{Task: 1, Dst: 2}, StopCore{Core: 0}, StartCore{Core: 0}} {
+		if a.String() == "" {
+			t.Errorf("%T has empty String", a)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package sim is the thermal-aware emulation engine: the software
+// equivalent of the paper's FPGA framework (Section 4). It advances a
+// tick-accurate model of the MPSoC — per-core schedulers executing the
+// streaming graph, the shared bus, the migration middleware — and
+// couples it to the RC thermal model at the 10 ms sensor period, at
+// which point the active management policy is consulted and its actions
+// (migrations, core stop/start) are applied.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"thermbal/internal/metrics"
+	"thermbal/internal/migrate"
+	"thermbal/internal/mpsoc"
+	"thermbal/internal/policy"
+	"thermbal/internal/sched"
+	"thermbal/internal/stream"
+	"thermbal/internal/task"
+	"thermbal/internal/trace"
+)
+
+// Config parameterises a run.
+type Config struct {
+	// TickS is the execution tick (default 100 µs).
+	TickS float64
+	// SensorPeriodS is the thermal/sensor/policy period (default 10 ms,
+	// the paper's monitoring rate).
+	SensorPeriodS float64
+	// PolicyStartS delays policy activation (the paper enables thermal
+	// balancing after a 12.5 s warm-up). Default 0 (immediately).
+	PolicyStartS float64
+	// MeasureStartS delays metric collection (usually = PolicyStartS,
+	// or later to exclude the balancing transient). Default 0.
+	MeasureStartS float64
+	// Mechanism selects the migration implementation (default
+	// task-replication, the paper's platform choice).
+	Mechanism migrate.Mechanism
+	// RecordTrace enables the timeline recorder.
+	RecordTrace bool
+}
+
+func (c *Config) fill() {
+	if c.TickS <= 0 {
+		c.TickS = 100e-6
+	}
+	if c.SensorPeriodS <= 0 {
+		c.SensorPeriodS = 10e-3
+	}
+}
+
+// Engine couples platform, application and policy.
+type Engine struct {
+	cfg Config
+
+	plat  *mpsoc.Platform
+	graph *stream.Graph
+	sch   *sched.Scheduler
+	migr  *migrate.Manager
+	pol   policy.Policy
+
+	now float64
+
+	temps    *metrics.TempCollector
+	rec      *trace.Recorder
+	snapshot policy.Snapshot // reused across sensor periods
+
+	// measuring window bookkeeping for rate metrics
+	measureStartMisses   int64
+	measureStartConsumed int64
+	measureStartMigr     int
+	measureStartBytes    float64
+	measureStarted       bool
+	measureStartTime     float64
+
+	policyActive bool
+
+	// overshoot tracking (the paper: the hot core exceeds the upper
+	// threshold for <400 ms while balancing)
+	overThresholdS float64
+	deltaForOver   float64
+}
+
+// New builds an engine. The graph must be finalized and its tasks
+// placed (Core >= 0).
+func New(cfg Config, plat *mpsoc.Platform, g *stream.Graph, pol policy.Policy) (*Engine, error) {
+	cfg.fill()
+	if pol == nil {
+		pol = policy.None{}
+	}
+	n := plat.NumCores()
+	e := &Engine{
+		cfg:   cfg,
+		plat:  plat,
+		graph: g,
+		sch:   sched.New(n),
+		migr:  migrate.NewManager(plat.Bus, cfg.Mechanism),
+		pol:   pol,
+		temps: metrics.NewTempCollector(n),
+	}
+	if cfg.RecordTrace {
+		e.rec = trace.New(n, 0)
+	}
+	for ti, t := range g.Tasks() {
+		if t.Core < 0 || t.Core >= n {
+			return nil, fmt.Errorf("sim: task %q placed on core %d (platform has %d)", t.Name, t.Core, n)
+		}
+		if err := e.sch.Assign(ti, t.Core); err != nil {
+			return nil, err
+		}
+	}
+	// Initial DVFS assignment from the static mapping.
+	for c := 0; c < n; c++ {
+		e.updateDVFS(c)
+	}
+	e.migr.OnComplete = e.onMigrationComplete
+	e.snapshot = policy.Snapshot{
+		Temp:    make([]float64, n),
+		Freq:    make([]float64, n),
+		Powered: make([]bool, n),
+		Tasks:   make([]policy.TaskView, g.NumTasks()),
+		LevelFor: func(fse float64) float64 {
+			return plat.Gov.Ladder().LevelFor(fse)
+		},
+		EstimateFreeze: func(ti int) float64 {
+			return e.migr.EstimateFreezeS(g.Task(ti), 1)
+		},
+	}
+	return e, nil
+}
+
+// SetOvershootDelta enables tracking of time the hottest core spends
+// above mean+delta (the paper's <400 ms overshoot observation).
+func (e *Engine) SetOvershootDelta(delta float64) { e.deltaForOver = delta }
+
+// Platform exposes the platform (read-mostly; tests adjust state).
+func (e *Engine) Platform() *mpsoc.Platform { return e.plat }
+
+// Graph exposes the streaming application.
+func (e *Engine) Graph() *stream.Graph { return e.graph }
+
+// Migrations exposes the middleware manager.
+func (e *Engine) Migrations() *migrate.Manager { return e.migr }
+
+// Scheduler exposes the per-core run queues.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sch }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Recorder returns the trace recorder (nil unless RecordTrace).
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// TempMetrics returns the temperature collector (samples only accrue
+// after MeasureStartS).
+func (e *Engine) TempMetrics() *metrics.TempCollector { return e.temps }
+
+// updateDVFS recomputes core c's level from its mapped, unfrozen tasks.
+func (e *Engine) updateDVFS(c int) {
+	if !e.plat.Powered(c) {
+		return // stays at 0 until restart
+	}
+	var fse float64
+	for _, ti := range e.sch.TasksOn(c) {
+		t := e.graph.Task(ti)
+		if t.State == task.Ready {
+			fse += t.FSE
+		}
+	}
+	e.plat.Gov.Update(c, fse)
+}
+
+// fseMapped sums FSE of all tasks whose home is core c, regardless of
+// freeze state — used when restarting a stopped core.
+func (e *Engine) fseMapped(c int) float64 {
+	var fse float64
+	for _, ti := range e.sch.TasksOn(c) {
+		fse += e.graph.Task(ti).FSE
+	}
+	return fse
+}
+
+// onMigrationComplete rebinds the scheduler and DVFS after the
+// middleware finishes a transfer.
+func (e *Engine) onMigrationComplete(mg *migrate.Migration) {
+	if err := e.sch.Assign(mg.TaskIdx, mg.Dst); err != nil {
+		panic(fmt.Sprintf("sim: migration completion rebind: %v", err))
+	}
+	e.updateDVFS(mg.Src)
+	e.updateDVFS(mg.Dst)
+	if e.rec != nil {
+		e.rec.AddEvent(e.now, "migrate-done", "%s core%d->core%d (%.0f KB, frozen %.1f ms)",
+			mg.Task.Name, mg.Src+1, mg.Dst+1, mg.Bytes()/1024, mg.FreezeDuration()*1e3)
+	}
+}
+
+// Run advances the simulation by duration seconds.
+func (e *Engine) Run(duration float64) error {
+	if duration <= 0 {
+		return errors.New("sim: non-positive duration")
+	}
+	tick := e.cfg.TickS
+	sensorEvery := int(e.cfg.SensorPeriodS/tick + 0.5)
+	if sensorEvery < 1 {
+		sensorEvery = 1
+	}
+	steps := int(duration/tick + 0.5)
+	for i := 0; i < steps; i++ {
+		e.stepTick(tick)
+		if (i+1)%sensorEvery == 0 {
+			if err := e.sensorUpdate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stepTick advances one execution tick.
+func (e *Engine) stepTick(tick float64) {
+	e.now += tick
+	e.graph.AdvanceSource(e.now)
+
+	n := e.plat.NumCores()
+	for c := 0; c < n; c++ {
+		e.runCore(c, tick)
+	}
+
+	e.plat.Bus.Advance(tick)
+	e.plat.AccountShared(tick)
+	e.migr.Advance(e.now)
+
+	e.graph.AdvanceSink(e.now)
+}
+
+// runCore executes up to one tick of work on core c.
+func (e *Engine) runCore(c int, tick float64) {
+	f := e.plat.Frequency(c)
+	if f <= 0 {
+		e.plat.AccountTick(c, tick, 0)
+		return
+	}
+	budget := f * tick
+	var busy float64
+	runnable := func(ti int) bool {
+		t := e.graph.Task(ti)
+		if !t.Runnable() {
+			return false
+		}
+		return t.InFlight || e.graph.CanFire(ti)
+	}
+	for budget > 1e-6 {
+		ti := e.sch.PickNext(c, runnable)
+		if ti < 0 {
+			break
+		}
+		t := e.graph.Task(ti)
+		if !t.InFlight {
+			if err := e.graph.BeginFrame(ti); err != nil {
+				panic(fmt.Sprintf("sim: BeginFrame(%s): %v", t.Name, err))
+			}
+		}
+		consumed, done := t.Execute(budget)
+		budget -= consumed
+		busy += consumed
+		if done {
+			e.graph.FinishFrame(ti)
+			// Frame boundary = migration checkpoint (Section 3.2).
+			froze, err := e.migr.AtCheckpoint(ti, e.now)
+			if err != nil {
+				panic(fmt.Sprintf("sim: checkpoint(%s): %v", t.Name, err))
+			}
+			if froze {
+				// The frozen task leaves the run queue; its load no
+				// longer drives this core's DVFS level.
+				e.updateDVFS(c)
+				if e.rec != nil {
+					e.rec.AddEvent(e.now, "freeze", "%s frozen on core%d", t.Name, c+1)
+				}
+			}
+		}
+	}
+	e.plat.AccountTick(c, tick, busy)
+}
+
+// sensorUpdate flushes the power window into the thermal model, samples
+// metrics, and runs the policy.
+func (e *Engine) sensorUpdate() error {
+	if _, err := e.plat.FlushWindow(e.cfg.SensorPeriodS); err != nil {
+		return err
+	}
+
+	s := &e.snapshot
+	s.Time = e.now
+	var sumT, sumF float64
+	for c := 0; c < e.plat.NumCores(); c++ {
+		s.Temp[c] = e.plat.CoreTemp(c)
+		s.Freq[c] = e.plat.Frequency(c)
+		s.Powered[c] = e.plat.Powered(c)
+		sumT += s.Temp[c]
+		sumF += s.Freq[c]
+	}
+	s.MeanTemp = sumT / float64(e.plat.NumCores())
+	s.MeanFreq = sumF / float64(e.plat.NumCores())
+	for ti, t := range e.graph.Tasks() {
+		_, migrating := e.migr.Pending(ti)
+		s.Tasks[ti] = policy.TaskView{
+			Index:      ti,
+			Name:       t.Name,
+			Core:       t.Core,
+			FSE:        t.FSE,
+			StateBytes: t.StateBytes,
+			Migrating:  migrating,
+		}
+	}
+	s.MigrationsPending = e.migr.NumPending()
+
+	// Metrics.
+	if e.now >= e.cfg.MeasureStartS {
+		if !e.measureStarted {
+			e.measureStarted = true
+			e.measureStartTime = e.now
+			e.measureStartMisses = e.graph.SinkStats().Misses
+			e.measureStartConsumed = e.graph.SinkStats().Consumed
+			st := e.migr.Stats()
+			e.measureStartMigr = st.Completed
+			e.measureStartBytes = st.BytesMoved
+		}
+		e.temps.Sample(s.Temp)
+		if e.deltaForOver > 0 {
+			for c := 0; c < e.plat.NumCores(); c++ {
+				if s.Temp[c] > s.MeanTemp+e.deltaForOver {
+					e.overThresholdS += e.cfg.SensorPeriodS
+					break
+				}
+			}
+		}
+	}
+	if e.rec != nil {
+		e.rec.AddSample(trace.Sample{Time: e.now, Temp: s.Temp, Freq: s.Freq})
+	}
+
+	// Policy.
+	if e.now >= e.cfg.PolicyStartS {
+		if !e.policyActive {
+			e.policyActive = true
+			if e.rec != nil {
+				e.rec.AddEvent(e.now, "policy-on", "policy %s active", e.pol.Name())
+			}
+		}
+		for _, act := range e.pol.Decide(s) {
+			if err := e.apply(act); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// apply executes one policy action.
+func (e *Engine) apply(act policy.Action) error {
+	switch a := act.(type) {
+	case policy.Migrate:
+		if a.Task < 0 || a.Task >= e.graph.NumTasks() {
+			return fmt.Errorf("sim: policy migrated unknown task %d", a.Task)
+		}
+		if a.Dst < 0 || a.Dst >= e.plat.NumCores() {
+			return fmt.Errorf("sim: policy migrated task %d to unknown core %d", a.Task, a.Dst)
+		}
+		t := e.graph.Task(a.Task)
+		if _, err := e.migr.Request(t, a.Task, a.Dst, e.now); err != nil {
+			// Racing requests are filtered by the policy contract, so
+			// surface real protocol errors.
+			return fmt.Errorf("sim: %w", err)
+		}
+		if e.rec != nil {
+			e.rec.AddEvent(e.now, "migrate-req", "%s core%d->core%d", t.Name, t.Core+1, a.Dst+1)
+		}
+	case policy.StopCore:
+		if a.Core < 0 || a.Core >= e.plat.NumCores() {
+			return fmt.Errorf("sim: policy stopped unknown core %d", a.Core)
+		}
+		e.plat.SetPowered(a.Core, false, 0)
+		if e.rec != nil {
+			e.rec.AddEvent(e.now, "stop", "core%d stopped", a.Core+1)
+		}
+	case policy.StartCore:
+		if a.Core < 0 || a.Core >= e.plat.NumCores() {
+			return fmt.Errorf("sim: policy started unknown core %d", a.Core)
+		}
+		e.plat.SetPowered(a.Core, true, e.fseMapped(a.Core))
+		if e.rec != nil {
+			e.rec.AddEvent(e.now, "start", "core%d restarted", a.Core+1)
+		}
+	default:
+		return fmt.Errorf("sim: unknown action %T", act)
+	}
+	return nil
+}
+
+// Result summarises a finished run over the measurement window.
+type Result struct {
+	// PolicyName labels the run.
+	PolicyName string
+	// MeasuredS is the length of the measurement window.
+	MeasuredS float64
+
+	// PooledStdDev is the Figure 7/9 metric: the standard deviation
+	// over all (core, time) samples — spatial and temporal deviation
+	// combined (the paper studies both, Section 5).
+	PooledStdDev float64
+	// SpatialStdDev is the time-averaged across-core standard
+	// deviation alone.
+	SpatialStdDev float64
+	// MeanGradient is the time-averaged hottest-coldest spread.
+	MeanGradient float64
+	// MeanTemporalStdDev averages per-core temporal deviation.
+	MeanTemporalStdDev float64
+	// MaxTemp is the hottest sample.
+	MaxTemp float64
+
+	// DeadlineMisses within the window (Figures 8/10).
+	DeadlineMisses int64
+	// FramesConsumed within the window.
+	FramesConsumed int64
+	// MissRatePct = misses / deadlines (%).
+	MissRatePct float64
+
+	// Migrations within the window; MigrationsPerSec is Figure 11.
+	Migrations       int
+	MigrationsPerSec float64
+	// MigratedBytes within the window; BytesPerSec the paper quotes as
+	// 192 KB/s at 3 migrations/s.
+	MigratedBytes    float64
+	BytesPerSec      float64
+	MeanFreezeS      float64
+	OverThresholdS   float64
+	TotalEnergyJ     float64
+	DVFSSwitches     int
+	SourceDropped    int64
+	MinQueueHeadroom int
+}
+
+// Summarize builds the Result for the measurement window ending now.
+func (e *Engine) Summarize() Result {
+	snk := e.graph.SinkStats()
+	st := e.migr.Stats()
+	measured := e.now - e.measureStartTime
+	r := Result{
+		PolicyName:         e.pol.Name(),
+		MeasuredS:          measured,
+		PooledStdDev:       e.temps.PooledStdDev(),
+		SpatialStdDev:      e.temps.MeanSpatialStdDev(),
+		MeanGradient:       e.temps.MeanGradient(),
+		MeanTemporalStdDev: e.temps.MeanTemporalStdDev(),
+		MaxTemp:            e.temps.MaxTemp,
+		DeadlineMisses:     snk.Misses - e.measureStartMisses,
+		FramesConsumed:     snk.Consumed - e.measureStartConsumed,
+		Migrations:         st.Completed - e.measureStartMigr,
+		MigratedBytes:      st.BytesMoved - e.measureStartBytes,
+		OverThresholdS:     e.overThresholdS,
+		TotalEnergyJ:       e.plat.TotalEnergyJ,
+		DVFSSwitches:       e.plat.Gov.Switches(),
+		SourceDropped:      e.graph.SourceStats().Dropped,
+	}
+	deadlines := r.DeadlineMisses + r.FramesConsumed
+	if deadlines > 0 {
+		r.MissRatePct = 100 * float64(r.DeadlineMisses) / float64(deadlines)
+	}
+	if measured > 0 {
+		r.MigrationsPerSec = float64(r.Migrations) / measured
+		r.BytesPerSec = r.MigratedBytes / measured
+	}
+	if st.Completed > 0 {
+		r.MeanFreezeS = st.FreezeTime / float64(st.Completed)
+	}
+	return r
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"thermbal/internal/core"
+	"thermbal/internal/floorplan"
+	"thermbal/internal/mpsoc"
+	"thermbal/internal/policy"
+	"thermbal/internal/stream"
+	"thermbal/internal/thermal"
+)
+
+// The SDR benchmark is one member of the streaming class; the engine and
+// the balancing policy must work on generated workloads too.
+func TestGeneratedWorkloadsUnderBalancing(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g, err := stream.Generate(stream.GenConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			policy.BalanceMapping(g.Tasks(), 3)
+			plat, err := mpsoc.New(mpsoc.Config{Package: thermal.MobileEmbedded()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(Config{PolicyStartS: 12.5, MeasureStartS: 12.5},
+				plat, g, core.New(core.Params{Delta: 3}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(27.5); err != nil {
+				t.Fatal(err)
+			}
+			r := e.Summarize()
+			// Sanity: the workload streamed. Some generated graphs have a
+			// single dominant task whose repeated migration drains the
+			// queues (the paper sized its queues for the SDR loads), so
+			// QoS is only bounded loosely here.
+			if r.FramesConsumed < 500 {
+				t.Errorf("only %d frames consumed", r.FramesConsumed)
+			}
+			if r.MissRatePct > 35 {
+				t.Errorf("miss rate %.1f%%", r.MissRatePct)
+			}
+			// Temperatures stayed physical.
+			if r.MaxTemp > 95 || r.MaxTemp < 30 {
+				t.Errorf("max temp %.1f implausible", r.MaxTemp)
+			}
+		})
+	}
+}
+
+// A generated workload heavy enough to need every core must still meet
+// its deadlines with the balanced mapping and no policy.
+func TestGeneratedWorkloadFeasibility(t *testing.T) {
+	g, err := stream.Generate(stream.GenConfig{Seed: 9, TotalFSE: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := policy.BalanceMapping(g.Tasks(), 3)
+	for c, l := range load {
+		if l > 1 {
+			t.Skipf("core %d overcommitted (%.2f); seed picks a different split", c, l)
+		}
+	}
+	plat, err := mpsoc.New(mpsoc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{}, plat, g, policy.EnergyBalance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if misses := e.Graph().SinkStats().Misses; misses != 0 {
+		t.Errorf("%d misses on a feasible mapping", misses)
+	}
+}
+
+// Scalability: the engine runs an 8-core platform with a generated
+// workload (the paper's framework "can be scaled to any number of cores
+// sub-systems", Section 4).
+func TestEightCorePlatform(t *testing.T) {
+	g, err := stream.Generate(stream.GenConfig{Seed: 3, Stages: 6, MaxWidth: 4, TotalFSE: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy.BalanceMapping(g.Tasks(), 8)
+	plat, err := mpsoc.New(mpsoc.Config{
+		Floorplan: floorplan8(),
+		Package:   thermal.MobileEmbedded(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{PolicyStartS: 5, MeasureStartS: 5},
+		plat, g, core.New(core.Params{Delta: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Summarize()
+	if r.FramesConsumed == 0 {
+		t.Error("nothing streamed on 8 cores")
+	}
+	if r.MaxTemp > 95 {
+		t.Errorf("max temp %.1f", r.MaxTemp)
+	}
+}
+
+func floorplan8() *floorplan.Floorplan { return floorplan.StreamingMPSoC(8) }

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thermbal/internal/task"
+)
+
+// This file provides a synthetic streaming-workload generator. The SDR
+// radio is the paper's benchmark, but it is "representative of a large
+// class of streaming multimedia applications" (Section 5.1); the
+// generator produces members of that class — split/join pipelines with
+// randomized loads — so the policies can be exercised on workloads the
+// paper never saw. Generation is fully seeded for reproducibility.
+
+// GenConfig parameterises workload generation.
+type GenConfig struct {
+	// Seed drives the PRNG (same seed, same workload).
+	Seed int64
+	// Stages is the pipeline depth excluding source and sink
+	// (default 4, like the SDR graph).
+	Stages int
+	// MaxWidth is the maximum parallel branches of a split stage
+	// (default 3). Width 1 stages are plain pipeline filters.
+	MaxWidth int
+	// TotalFSE is the summed full-speed-equivalent load budget across
+	// all generated tasks (default 1.4, the SDR total).
+	TotalFSE float64
+	// QueueCap is the inter-task queue capacity (default 11).
+	QueueCap int
+	// FramePeriod is the source/sink period (default 20 ms).
+	FramePeriod float64
+	// FMaxHz derives cycles/frame from FSE (default 533 MHz).
+	FMaxHz float64
+}
+
+func (c *GenConfig) fill() {
+	if c.Stages <= 0 {
+		c.Stages = 4
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 3
+	}
+	if c.TotalFSE <= 0 {
+		c.TotalFSE = 1.4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.FramePeriod <= 0 {
+		c.FramePeriod = DefaultFramePeriod
+	}
+	if c.FMaxHz <= 0 {
+		c.FMaxHz = 533e6
+	}
+}
+
+// Generate builds a randomized split/join streaming graph. Every stage
+// is either a single filter or a parallel split whose branches are
+// joined by the next stage's first task. Task loads partition the
+// TotalFSE budget with random proportions (each task gets at least 2 %).
+// Tasks are left unplaced (Core = -1); use a mapping helper or set
+// placements before simulation.
+func Generate(cfg GenConfig) (*Graph, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+
+	// Decide the stage widths first so load shares can be drawn for
+	// every task at once.
+	widths := make([]int, cfg.Stages)
+	total := 0
+	for i := range widths {
+		// First and last stages are joins/sources of width 1 to keep
+		// the graph a single-entry, single-exit pipeline.
+		if i == 0 || i == cfg.Stages-1 {
+			widths[i] = 1
+		} else {
+			widths[i] = 1 + rng.Intn(cfg.MaxWidth)
+		}
+		total += widths[i]
+	}
+
+	// Random load partition: draw positive weights, normalise to the
+	// budget with a 2% floor per task.
+	weights := make([]float64, total)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.05 + rng.Float64()
+		wsum += weights[i]
+	}
+	floor := 0.02
+	avail := cfg.TotalFSE - floor*float64(total)
+	if avail <= 0 {
+		return nil, fmt.Errorf("stream: TotalFSE %.2f too small for %d tasks", cfg.TotalFSE, total)
+	}
+	loads := make([]float64, total)
+	for i, w := range weights {
+		loads[i] = floor + avail*w/wsum
+		if loads[i] > 1 {
+			loads[i] = 1 // a single task cannot exceed one core at fmax
+		}
+	}
+
+	qIn, err := g.AddQueue("gq:in", cfg.QueueCap)
+	if err != nil {
+		return nil, err
+	}
+	prevOut := []int{qIn} // queues feeding the current stage
+	ti := 0
+	for stage, width := range widths {
+		stageOut := make([]int, 0, width)
+		for br := 0; br < width; br++ {
+			name := fmt.Sprintf("S%dT%d", stage+1, br+1)
+			tk, err := task.New(name, loads[ti])
+			if err != nil {
+				return nil, err
+			}
+			tk.BindWork(cfg.FMaxHz, cfg.FramePeriod)
+			// Inputs: the first task of a stage joins all previous
+			// outputs; other branches tap a dedicated queue fed by a
+			// broadcast from the previous stage's first task. To keep
+			// wiring simple and rates consistent we use: stage joins
+			// everything from the previous stage, then broadcasts to
+			// its own branches via per-branch queues.
+			var ins []int
+			if br == 0 {
+				ins = prevOut
+			} else {
+				qi, err := g.AddQueue(fmt.Sprintf("gq:s%d-br%d", stage+1, br+1), cfg.QueueCap)
+				if err != nil {
+					return nil, err
+				}
+				// The branch queue is fed by this stage's first task.
+				first := len(g.tasks) - br // index of S<stage>T1
+				g.outputs[first] = append(g.outputs[first], qi)
+				ins = []int{qi}
+			}
+			qo, err := g.AddQueue(fmt.Sprintf("gq:s%dt%d-out", stage+1, br+1), cfg.QueueCap)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.AddTask(tk, ins, []int{qo}); err != nil {
+				return nil, err
+			}
+			stageOut = append(stageOut, qo)
+			ti++
+		}
+		prevOut = stageOut
+	}
+
+	// Sink joins the last stage's outputs; if the last stage has width
+	// one (guaranteed above) there is exactly one tail queue.
+	if err := g.SetSource(qIn, cfg.FramePeriod); err != nil {
+		return nil, err
+	}
+	if err := g.SetSink(prevOut[0], cfg.FramePeriod, (cfg.QueueCap+1)/2); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

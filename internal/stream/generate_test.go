@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(GenConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTasks() != b.NumTasks() {
+		t.Fatalf("task counts differ: %d vs %d", a.NumTasks(), b.NumTasks())
+	}
+	for i := 0; i < a.NumTasks(); i++ {
+		if a.Task(i).Name != b.Task(i).Name || a.Task(i).FSE != b.Task(i).FSE {
+			t.Errorf("task %d differs across same-seed generations", i)
+		}
+	}
+	c, err := Generate(GenConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := c.NumTasks() == a.NumTasks()
+	if same {
+		for i := 0; i < a.NumTasks(); i++ {
+			if a.Task(i).FSE != c.Task(i).FSE {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateBudgetRespected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := Generate(GenConfig{Seed: seed, TotalFSE: 1.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, tk := range g.Tasks() {
+			if tk.FSE <= 0 || tk.FSE > 1 {
+				t.Errorf("seed %d: task %s FSE %g out of range", seed, tk.Name, tk.FSE)
+			}
+			if tk.CyclesPerFrame <= 0 {
+				t.Errorf("seed %d: task %s has no work", seed, tk.Name)
+			}
+			sum += tk.FSE
+		}
+		if math.Abs(sum-1.4) > 0.02 {
+			t.Errorf("seed %d: total FSE %g, want 1.4", seed, sum)
+		}
+	}
+}
+
+func TestGenerateRejectsTinyBudget(t *testing.T) {
+	if _, err := Generate(GenConfig{Seed: 1, TotalFSE: 0.01}); err == nil {
+		t.Error("accepted infeasible budget")
+	}
+}
+
+// Generated graphs must stream end to end on an ideal processor with no
+// misses and no drops, for many seeds.
+func TestGeneratedGraphsFlow(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := Generate(GenConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		idealRun(t, g, 2.0)
+		if got := g.SinkStats().Misses; got != 0 {
+			t.Errorf("seed %d: %d misses on ideal CPU", seed, got)
+		}
+		if got := g.SourceStats().Dropped; got != 0 {
+			t.Errorf("seed %d: %d source drops on ideal CPU", seed, got)
+		}
+		if g.SinkStats().Consumed < 50 {
+			t.Errorf("seed %d: only %d frames consumed", seed, g.SinkStats().Consumed)
+		}
+	}
+}
+
+func TestGenerateStageStructure(t *testing.T) {
+	g, err := Generate(GenConfig{Seed: 7, Stages: 5, MaxWidth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the 5 width-1 stage heads exist.
+	if g.NumTasks() < 5 {
+		t.Errorf("tasks = %d, want >= 5", g.NumTasks())
+	}
+	// All tasks unplaced until a mapping runs.
+	for _, tk := range g.Tasks() {
+		if tk.Core != -1 {
+			t.Errorf("task %s pre-placed on core %d", tk.Name, tk.Core)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"thermbal/internal/task"
+)
+
+// Graph is a streaming application: tasks wired by bounded queues, plus
+// one paced source and one deadline-driven sink.
+type Graph struct {
+	queues []*Queue
+	qIndex map[string]int
+
+	tasks []*task.Task
+	// inputs[i], outputs[i] are queue indices of task i.
+	inputs  [][]int
+	outputs [][]int
+	tIndex  map[string]int
+
+	source Source
+	sink   Sink
+
+	// pendingFrame tracks the frame identity each in-flight task
+	// carries between BeginFrame and FinishFrame. Sized by Finalize.
+	pendingFrame []Frame
+}
+
+// Source paces frames into the head queue at a fixed real-time rate
+// (the digitalised PCM radio samples of the SDR benchmark).
+type Source struct {
+	queue   int
+	period  float64
+	nextAt  float64
+	nextID  int64
+	started bool
+
+	// Emitted counts frames pushed; Dropped counts frames lost to a
+	// full head queue (input overrun).
+	Emitted int64
+	Dropped int64
+}
+
+// Sink drains the tail queue on a deadline schedule: one frame must be
+// available every period once the prefill threshold has been reached
+// (audio playback). A missing frame is a deadline miss — the paper's
+// QoS degradation metric.
+type Sink struct {
+	queue   int
+	period  float64
+	prefill int
+	playing bool
+	nextAt  float64
+
+	// Consumed counts frames played; Misses counts deadlines with an
+	// empty queue.
+	Consumed int64
+	Misses   int64
+	// LatencySum accumulates (consume time - frame creation) for mean
+	// pipeline latency.
+	LatencySum float64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		qIndex: make(map[string]int),
+		tIndex: make(map[string]int),
+	}
+}
+
+// AddQueue creates and registers a queue, returning its index.
+func (g *Graph) AddQueue(name string, capacity int) (int, error) {
+	if _, dup := g.qIndex[name]; dup {
+		return -1, fmt.Errorf("stream: duplicate queue %q", name)
+	}
+	q, err := NewQueue(name, capacity)
+	if err != nil {
+		return -1, err
+	}
+	g.qIndex[name] = len(g.queues)
+	g.queues = append(g.queues, q)
+	return len(g.queues) - 1, nil
+}
+
+// AddTask registers a task with its input and output queue indices.
+// A task fires by consuming one frame from every input and, when the
+// frame's work completes, producing one frame into every output.
+func (g *Graph) AddTask(t *task.Task, inputs, outputs []int) (int, error) {
+	if _, dup := g.tIndex[t.Name]; dup {
+		return -1, fmt.Errorf("stream: duplicate task %q", t.Name)
+	}
+	for _, qi := range append(append([]int(nil), inputs...), outputs...) {
+		if qi < 0 || qi >= len(g.queues) {
+			return -1, fmt.Errorf("stream: task %q references unknown queue %d", t.Name, qi)
+		}
+	}
+	if len(inputs) == 0 && len(outputs) == 0 {
+		return -1, fmt.Errorf("stream: task %q is disconnected", t.Name)
+	}
+	g.tIndex[t.Name] = len(g.tasks)
+	g.tasks = append(g.tasks, t)
+	g.inputs = append(g.inputs, append([]int(nil), inputs...))
+	g.outputs = append(g.outputs, append([]int(nil), outputs...))
+	return len(g.tasks) - 1, nil
+}
+
+// SetSource attaches the paced source to queue qi with the given period.
+func (g *Graph) SetSource(qi int, period float64) error {
+	if qi < 0 || qi >= len(g.queues) {
+		return fmt.Errorf("stream: source queue %d unknown", qi)
+	}
+	if period <= 0 {
+		return errors.New("stream: source period must be positive")
+	}
+	g.source = Source{queue: qi, period: period}
+	return nil
+}
+
+// SetSink attaches the deadline sink to queue qi. Playback starts once
+// the queue first reaches prefill frames; after that one frame is due
+// every period.
+func (g *Graph) SetSink(qi int, period float64, prefill int) error {
+	if qi < 0 || qi >= len(g.queues) {
+		return fmt.Errorf("stream: sink queue %d unknown", qi)
+	}
+	if period <= 0 {
+		return errors.New("stream: sink period must be positive")
+	}
+	if prefill < 1 {
+		return errors.New("stream: sink prefill must be >= 1")
+	}
+	g.sink = Sink{queue: qi, period: period, prefill: prefill}
+	return nil
+}
+
+// NumTasks returns the number of registered tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// Task returns task i.
+func (g *Graph) Task(i int) *task.Task { return g.tasks[i] }
+
+// Tasks returns the underlying task slice (shared, not a copy).
+func (g *Graph) Tasks() []*task.Task { return g.tasks }
+
+// TaskIndex returns the index of the named task.
+func (g *Graph) TaskIndex(name string) (int, bool) {
+	i, ok := g.tIndex[name]
+	return i, ok
+}
+
+// Queue returns queue i.
+func (g *Graph) Queue(i int) *Queue { return g.queues[i] }
+
+// NumQueues returns the queue count.
+func (g *Graph) NumQueues() int { return len(g.queues) }
+
+// QueueIndex returns the index of the named queue.
+func (g *Graph) QueueIndex(name string) (int, bool) {
+	i, ok := g.qIndex[name]
+	return i, ok
+}
+
+// CanFire reports whether task i may begin a frame: every input queue
+// non-empty and every output queue with room (space is reserved at fire
+// time so a completed frame never blocks).
+func (g *Graph) CanFire(i int) bool {
+	if g.tasks[i].InFlight || !g.tasks[i].Runnable() {
+		return false
+	}
+	for _, qi := range g.inputs[i] {
+		if g.queues[qi].Empty() {
+			return false
+		}
+	}
+	for _, qi := range g.outputs[i] {
+		if g.queues[qi].Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginFrame consumes one frame from every input of task i and starts
+// the task's frame work. The caller must have checked CanFire.
+func (g *Graph) BeginFrame(i int) error {
+	if !g.CanFire(i) {
+		return fmt.Errorf("stream: task %q cannot fire", g.tasks[i].Name)
+	}
+	var oldest Frame
+	first := true
+	for _, qi := range g.inputs[i] {
+		f, ok := g.queues[qi].Pop()
+		if !ok {
+			// CanFire guaranteed non-empty; this is a graph bug.
+			panic(fmt.Sprintf("stream: queue %q empty during BeginFrame", g.queues[qi].Name()))
+		}
+		if first || f.Created < oldest.Created {
+			oldest = f
+			first = false
+		}
+	}
+	if err := g.tasks[i].StartFrame(); err != nil {
+		return err
+	}
+	// Remember frame identity for propagation on completion.
+	g.pendingFrame[i] = oldest
+	return nil
+}
+
+// FinishFrame propagates task i's completed frame into every output
+// queue. The engine calls it when Task.Execute reports completion.
+func (g *Graph) FinishFrame(i int) {
+	f := g.pendingFrame[i]
+	for _, qi := range g.outputs[i] {
+		if !g.queues[qi].Push(f) {
+			// Space was reserved by CanFire at begin time, but another
+			// producer sharing the queue may have raced us within the
+			// tick; count as overrun (already counted by Push).
+			continue
+		}
+	}
+}
+
+// Finalize validates the graph and sizes internal buffers. It must be
+// called once wiring is complete, before execution.
+func (g *Graph) Finalize() error {
+	if len(g.tasks) == 0 {
+		return errors.New("stream: no tasks")
+	}
+	if g.source.period == 0 {
+		return errors.New("stream: no source attached")
+	}
+	if g.sink.period == 0 {
+		return errors.New("stream: no sink attached")
+	}
+	// Every queue needs at least one producer (task output or source)
+	// and one consumer (task input or sink).
+	prod := make([]int, len(g.queues))
+	cons := make([]int, len(g.queues))
+	prod[g.source.queue]++
+	cons[g.sink.queue]++
+	for i := range g.tasks {
+		for _, qi := range g.inputs[i] {
+			cons[qi]++
+		}
+		for _, qi := range g.outputs[i] {
+			prod[qi]++
+		}
+	}
+	for qi, q := range g.queues {
+		if prod[qi] == 0 {
+			return fmt.Errorf("stream: queue %q has no producer", q.Name())
+		}
+		if cons[qi] == 0 {
+			return fmt.Errorf("stream: queue %q has no consumer", q.Name())
+		}
+	}
+	g.pendingFrame = make([]Frame, len(g.tasks))
+	return nil
+}
+
+// AdvanceSource emits frames due by time now into the head queue.
+func (g *Graph) AdvanceSource(now float64) {
+	s := &g.source
+	if !s.started {
+		s.started = true
+		s.nextAt = now
+	}
+	for now >= s.nextAt-1e-12 {
+		f := Frame{ID: s.nextID, Created: s.nextAt}
+		if g.queues[s.queue].Push(f) {
+			s.Emitted++
+		} else {
+			s.Dropped++
+		}
+		s.nextID++
+		s.nextAt += s.period
+	}
+}
+
+// AdvanceSink consumes frames due by time now and records misses.
+func (g *Graph) AdvanceSink(now float64) {
+	k := &g.sink
+	q := g.queues[k.queue]
+	if !k.playing {
+		if q.Len() >= k.prefill {
+			k.playing = true
+			k.nextAt = now + k.period
+		}
+		return
+	}
+	for now >= k.nextAt-1e-12 {
+		if f, ok := q.Pop(); ok {
+			k.Consumed++
+			k.LatencySum += k.nextAt - f.Created
+		} else {
+			k.Misses++
+		}
+		k.nextAt += k.period
+	}
+}
+
+// SourceStats returns a copy of the source counters.
+func (g *Graph) SourceStats() Source { return g.source }
+
+// SinkStats returns a copy of the sink counters.
+func (g *Graph) SinkStats() Sink { return g.sink }
+
+// ResetStreamState clears all queues, source/sink schedules and per-task
+// runtime accounting, keeping the wiring (for back-to-back experiments).
+func (g *Graph) ResetStreamState() {
+	for _, q := range g.queues {
+		q.Reset()
+	}
+	g.source.nextAt, g.source.nextID, g.source.started = 0, 0, false
+	g.source.Emitted, g.source.Dropped = 0, 0
+	g.sink.playing, g.sink.nextAt = false, 0
+	g.sink.Consumed, g.sink.Misses, g.sink.LatencySum = 0, 0, 0
+	for i, t := range g.tasks {
+		t.InFlight = false
+		t.Progress = 0
+		t.FramesCompleted = 0
+		t.BusyCycles = 0
+		t.State = task.Ready
+		g.pendingFrame[i] = Frame{}
+	}
+}
+
+// Inputs returns the input queue indices of task i (shared slice).
+func (g *Graph) Inputs(i int) []int { return g.inputs[i] }
+
+// Outputs returns the output queue indices of task i (shared slice).
+func (g *Graph) Outputs(i int) []int { return g.outputs[i] }

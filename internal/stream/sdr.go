@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"fmt"
+
+	"thermbal/internal/task"
+)
+
+// The Software Defined FM Radio benchmark (paper Figure 6 and Table 2).
+//
+// Topology:
+//
+//	SRC → [LPF] → [DEMOD] → { [BPF1], [BPF2], [BPF3] } → [SUM] → SINK
+//
+// The demodulator broadcasts each frame to all three band-pass filters
+// (parallel equalizer structure); the consumer Σ needs one frame from
+// every BPF to produce an output frame.
+//
+// Table 2 gives per-task loads at the core's running frequency; the FSE
+// values below are those loads rescaled to the 533 MHz maximum:
+//
+//	Core 1 (533 MHz): BPF1 36.7 %          → FSE 0.367
+//	                  DEMOD 28.3 %         → FSE 0.283
+//	Core 2 (266 MHz): BPF2 60.9 %          → FSE 0.304
+//	                  Σ (SUM) 6.2 %        → FSE 0.031
+//	Core 3 (266 MHz): BPF3 60.9 %          → FSE 0.304
+//	                  LPF 18.8 %           → FSE 0.094
+const (
+	FSEBPF1  = 0.367
+	FSEDemod = 0.283
+	FSEBPF2  = 0.609 * 266.0 / 533.0
+	FSESum   = 0.062 * 266.0 / 533.0
+	FSEBPF3  = 0.609 * 266.0 / 533.0
+	FSELPF   = 0.188 * 266.0 / 533.0
+)
+
+// DefaultFramePeriod is the SDR frame period: 20 ms (50 audio frames per
+// second).
+const DefaultFramePeriod = 0.020
+
+// DefaultQueueCap is the default inter-task queue capacity in frames.
+// The paper reports 11 frames as the minimum size that sustains
+// migration without QoS impact (Section 5.2).
+const DefaultQueueCap = 11
+
+// SDRConfig parameterises the benchmark construction.
+type SDRConfig struct {
+	// QueueCap is the capacity of every inter-task queue (default 11).
+	QueueCap int
+	// FramePeriod is the source/sink period in seconds (default 20 ms).
+	FramePeriod float64
+	// FMaxHz is the maximum core frequency used to derive cycles per
+	// frame from FSE loads (default 533 MHz).
+	FMaxHz float64
+	// SinkPrefill is the playback prefill in frames (default half the
+	// queue capacity).
+	SinkPrefill int
+}
+
+func (c *SDRConfig) fill() {
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.FramePeriod <= 0 {
+		c.FramePeriod = DefaultFramePeriod
+	}
+	if c.FMaxHz <= 0 {
+		c.FMaxHz = 533e6
+	}
+	if c.SinkPrefill <= 0 {
+		c.SinkPrefill = (c.QueueCap + 1) / 2
+	}
+}
+
+// SDRTaskNames lists the benchmark tasks in pipeline order.
+var SDRTaskNames = []string{"LPF", "DEMOD", "BPF1", "BPF2", "BPF3", "SUM"}
+
+// Table2Mapping is the paper's initial, statically energy-balanced
+// placement (task name → 0-based core).
+var Table2Mapping = map[string]int{
+	"BPF1":  0,
+	"DEMOD": 0,
+	"BPF2":  1,
+	"SUM":   1,
+	"BPF3":  2,
+	"LPF":   2,
+}
+
+// BuildSDR constructs the SDR graph with Table 2 loads and placement.
+// It returns the finalized graph; tasks are reachable via graph lookup.
+func BuildSDR(cfg SDRConfig) (*Graph, error) {
+	cfg.fill()
+	g := NewGraph()
+
+	mkQ := func(name string) int {
+		qi, err := g.AddQueue(name, cfg.QueueCap)
+		if err != nil {
+			panic(err) // static names cannot collide
+		}
+		return qi
+	}
+	qIn := mkQ("q:src-lpf")
+	qLpfDemod := mkQ("q:lpf-demod")
+	qDemodB1 := mkQ("q:demod-bpf1")
+	qDemodB2 := mkQ("q:demod-bpf2")
+	qDemodB3 := mkQ("q:demod-bpf3")
+	qB1Sum := mkQ("q:bpf1-sum")
+	qB2Sum := mkQ("q:bpf2-sum")
+	qB3Sum := mkQ("q:bpf3-sum")
+	qOut := mkQ("q:sum-sink")
+
+	mk := func(name string, fse float64, in, out []int) *task.Task {
+		t := task.MustNew(name, fse)
+		t.BindWork(cfg.FMaxHz, cfg.FramePeriod)
+		t.Core = Table2Mapping[name]
+		if _, err := g.AddTask(t, in, out); err != nil {
+			panic(err)
+		}
+		return t
+	}
+	mk("LPF", FSELPF, []int{qIn}, []int{qLpfDemod})
+	mk("DEMOD", FSEDemod, []int{qLpfDemod}, []int{qDemodB1, qDemodB2, qDemodB3})
+	mk("BPF1", FSEBPF1, []int{qDemodB1}, []int{qB1Sum})
+	mk("BPF2", FSEBPF2, []int{qDemodB2}, []int{qB2Sum})
+	mk("BPF3", FSEBPF3, []int{qDemodB3}, []int{qB3Sum})
+	mk("SUM", FSESum, []int{qB1Sum, qB2Sum, qB3Sum}, []int{qOut})
+
+	if err := g.SetSource(qIn, cfg.FramePeriod); err != nil {
+		return nil, err
+	}
+	if err := g.SetSink(qOut, cfg.FramePeriod, cfg.SinkPrefill); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuildSDR is BuildSDR panicking on error.
+func MustBuildSDR(cfg SDRConfig) *Graph {
+	g, err := BuildSDR(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("stream: BuildSDR: %v", err))
+	}
+	return g
+}
+
+// PipelineDepth returns the number of stages from source to sink in the
+// SDR graph (LPF, DEMOD, BPFx, SUM = 4).
+const PipelineDepth = 4

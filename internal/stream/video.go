@@ -1,0 +1,97 @@
+package stream
+
+import "thermbal/internal/task"
+
+// A second concrete benchmark from the streaming multimedia class the
+// paper targets (Section 5.1 calls the SDR "representative of a large
+// class of streaming multimedia applications"): a software video
+// decoder pipeline in the style of an MPEG-2/H.263 decoder:
+//
+//	SRC → [VLD] → [IQ] → { [IDCT1], [IDCT2] } → [MC] → [OUT] → SINK
+//
+// Variable-length decoding (VLD) feeds inverse quantisation (IQ); the
+// inverse DCT is data-parallel across two workers; motion compensation
+// (MC) joins them and the output stage (OUT) colour-converts. Loads are
+// representative of software decoders on 533 MHz-class RISC cores at
+// 25 frames/s.
+const (
+	FSEVLD   = 0.22
+	FSEIQ    = 0.10
+	FSEIDCT1 = 0.26
+	FSEIDCT2 = 0.26
+	FSEMC    = 0.30
+	FSEOut   = 0.12
+
+	// VideoFramePeriod is 25 fps.
+	VideoFramePeriod = 0.040
+)
+
+// VideoTaskNames lists the decoder tasks in pipeline order.
+var VideoTaskNames = []string{"VLD", "IQ", "IDCT1", "IDCT2", "MC", "OUT"}
+
+// VideoMapping is a first-fit-by-pipeline-order 3-core placement, the
+// kind a developer writes before profiling: the front of the pipeline
+// piles onto core 1 (FSE 0.78 → 533 MHz) while core 3 idles at 133 MHz
+// (FSE 0.12). It is deliberately thermally unbalanced — the situation
+// the balancing policy is for. Use policy.BalanceMapping for an
+// energy-balanced placement instead.
+var VideoMapping = map[string]int{
+	"VLD":   0,
+	"IDCT1": 0,
+	"MC":    0,
+	"IQ":    1,
+	"IDCT2": 1,
+	"OUT":   2,
+}
+
+// BuildVideo constructs the video decoder graph. The cfg fields have
+// the same meaning as for BuildSDR; FramePeriod defaults to 40 ms.
+func BuildVideo(cfg SDRConfig) (*Graph, error) {
+	if cfg.FramePeriod <= 0 {
+		cfg.FramePeriod = VideoFramePeriod
+	}
+	cfg.fill()
+	g := NewGraph()
+
+	mkQ := func(name string) int {
+		qi, err := g.AddQueue(name, cfg.QueueCap)
+		if err != nil {
+			panic(err) // static names cannot collide
+		}
+		return qi
+	}
+	qIn := mkQ("v:src-vld")
+	qVldIq := mkQ("v:vld-iq")
+	qIqI1 := mkQ("v:iq-idct1")
+	qIqI2 := mkQ("v:iq-idct2")
+	qI1Mc := mkQ("v:idct1-mc")
+	qI2Mc := mkQ("v:idct2-mc")
+	qMcOut := mkQ("v:mc-out")
+	qOut := mkQ("v:out-sink")
+
+	mk := func(name string, fse float64, in, out []int) {
+		t := task.MustNew(name, fse)
+		t.BindWork(cfg.FMaxHz, cfg.FramePeriod)
+		t.Core = VideoMapping[name]
+		if _, err := g.AddTask(t, in, out); err != nil {
+			panic(err)
+		}
+	}
+	mk("VLD", FSEVLD, []int{qIn}, []int{qVldIq})
+	mk("IQ", FSEIQ, []int{qVldIq}, []int{qIqI1, qIqI2})
+	mk("IDCT1", FSEIDCT1, []int{qIqI1}, []int{qI1Mc})
+	mk("IDCT2", FSEIDCT2, []int{qIqI2}, []int{qI2Mc})
+	mk("MC", FSEMC, []int{qI1Mc, qI2Mc}, []int{qMcOut})
+	mk("OUT", FSEOut, []int{qMcOut}, []int{qOut})
+
+	if err := g.SetSource(qIn, cfg.FramePeriod); err != nil {
+		return nil, err
+	}
+	if err := g.SetSink(qOut, cfg.FramePeriod, cfg.SinkPrefill); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

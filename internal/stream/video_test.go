@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildVideoStructure(t *testing.T) {
+	g, err := BuildVideo(SDRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 6 {
+		t.Fatalf("tasks = %d", g.NumTasks())
+	}
+	if g.NumQueues() != 8 {
+		t.Fatalf("queues = %d", g.NumQueues())
+	}
+	for _, name := range VideoTaskNames {
+		ti, ok := g.TaskIndex(name)
+		if !ok {
+			t.Fatalf("task %s missing", name)
+		}
+		if g.Task(ti).Core != VideoMapping[name] {
+			t.Errorf("%s on core %d", name, g.Task(ti).Core)
+		}
+	}
+	// The first-fit mapping is intentionally unbalanced but feasible:
+	// core 1 carries the pipeline front at 533 MHz, core 3 idles.
+	sum := map[int]float64{}
+	for _, tk := range g.Tasks() {
+		sum[tk.Core] += tk.FSE
+	}
+	if sum[0] <= 0.5 {
+		t.Errorf("core1 FSE %.2f; mapping no longer unbalanced", sum[0])
+	}
+	if sum[0] > 1 {
+		t.Errorf("core1 FSE %.2f infeasible", sum[0])
+	}
+	if math.Abs(sum[0]+sum[1]+sum[2]-1.26) > 1e-9 {
+		t.Errorf("total FSE = %g", sum[0]+sum[1]+sum[2])
+	}
+}
+
+func TestVideoFlowsEndToEnd(t *testing.T) {
+	g, err := BuildVideo(SDRConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idealRun(t, g, 3.0)
+	if g.SinkStats().Misses != 0 {
+		t.Errorf("%d misses on ideal CPU", g.SinkStats().Misses)
+	}
+	// 25 fps: ~75 frames in 3 s.
+	if got := g.SinkStats().Consumed; got < 50 {
+		t.Errorf("consumed %d frames", got)
+	}
+	mc, _ := g.TaskIndex("MC")
+	if g.Task(mc).FramesCompleted == 0 {
+		t.Error("MC never fired")
+	}
+}
+
+func TestVideoSplitJoinSemantics(t *testing.T) {
+	g, _ := BuildVideo(SDRConfig{})
+	mc, _ := g.TaskIndex("MC")
+	if got := len(g.Inputs(mc)); got != 2 {
+		t.Errorf("MC inputs = %d, want 2 (join)", got)
+	}
+	iq, _ := g.TaskIndex("IQ")
+	if got := len(g.Outputs(iq)); got != 2 {
+		t.Errorf("IQ outputs = %d, want 2 (broadcast)", got)
+	}
+}

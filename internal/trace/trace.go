@@ -1,0 +1,204 @@
+// Package trace records simulation timelines (temperatures, frequencies,
+// events) and renders them as CSV — the reproduction's equivalent of the
+// paper's UART statistics extraction (Section 4).
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one row of the periodic timeline.
+type Sample struct {
+	Time  float64
+	Temp  []float64 // per-core °C
+	Freq  []float64 // per-core Hz
+	Power []float64 // per-core W (optional; may be nil)
+}
+
+// Event is a discrete occurrence (migration, stop, start, miss burst).
+type Event struct {
+	Time float64
+	Kind string
+	Text string
+}
+
+// Recorder buffers samples and events. The zero value records nothing;
+// construct with New. A MaxSamples cap guards memory on long runs.
+type Recorder struct {
+	cores      int
+	samples    []Sample
+	events     []Event
+	maxSamples int
+	dropped    int
+}
+
+// DefaultMaxSamples bounds the sample buffer (at the 10 ms sensor period
+// this is ~55 minutes of simulated time).
+const DefaultMaxSamples = 1 << 18
+
+// New creates a recorder for n cores. maxSamples <= 0 takes the default.
+func New(n, maxSamples int) *Recorder {
+	if maxSamples <= 0 {
+		maxSamples = DefaultMaxSamples
+	}
+	return &Recorder{cores: n, maxSamples: maxSamples}
+}
+
+// AddSample appends a timeline row (copying the slices).
+func (r *Recorder) AddSample(s Sample) {
+	if len(r.samples) >= r.maxSamples {
+		r.dropped++
+		return
+	}
+	cp := Sample{Time: s.Time}
+	cp.Temp = append([]float64(nil), s.Temp...)
+	cp.Freq = append([]float64(nil), s.Freq...)
+	if s.Power != nil {
+		cp.Power = append([]float64(nil), s.Power...)
+	}
+	r.samples = append(r.samples, cp)
+}
+
+// AddEvent appends a discrete event.
+func (r *Recorder) AddEvent(t float64, kind, format string, args ...any) {
+	r.events = append(r.events, Event{Time: t, Kind: kind, Text: fmt.Sprintf(format, args...)})
+}
+
+// Samples returns the recorded timeline (shared slice; treat as
+// read-only).
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Events returns the recorded events (shared slice; treat as read-only).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many samples were discarded at the cap.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// WriteCSV renders the timeline: time, temp per core, freq (MHz) per
+// core, and power per core when recorded.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("time_s")
+	for c := 0; c < r.cores; c++ {
+		fmt.Fprintf(&b, ",temp%d_c", c+1)
+	}
+	for c := 0; c < r.cores; c++ {
+		fmt.Fprintf(&b, ",freq%d_mhz", c+1)
+	}
+	hasPower := len(r.samples) > 0 && r.samples[0].Power != nil
+	if hasPower {
+		for c := 0; c < r.cores; c++ {
+			fmt.Fprintf(&b, ",power%d_w", c+1)
+		}
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		b.Reset()
+		b.WriteString(strconv.FormatFloat(s.Time, 'f', 4, 64))
+		for c := 0; c < r.cores; c++ {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(at(s.Temp, c), 'f', 3, 64))
+		}
+		for c := 0; c < r.cores; c++ {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(at(s.Freq, c)/1e6, 'f', 0, 64))
+		}
+		if hasPower {
+			for c := 0; c < r.cores; c++ {
+				b.WriteByte(',')
+				b.WriteString(strconv.FormatFloat(at(s.Power, c), 'f', 4, 64))
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEventsCSV renders the event log as time,kind,text rows.
+func (r *Recorder) WriteEventsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_s,kind,text\n"); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		line := fmt.Sprintf("%.4f,%s,%q\n", e.Time, e.Kind, e.Text)
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseCSV reads a timeline previously written by WriteCSV, returning
+// the samples. Power columns are restored when present.
+func ParseCSV(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, errors.New("trace: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: unexpected header %q", sc.Text())
+	}
+	var nTemp, nFreq, nPower int
+	for _, h := range header[1:] {
+		switch {
+		case strings.HasPrefix(h, "temp"):
+			nTemp++
+		case strings.HasPrefix(h, "freq"):
+			nFreq++
+		case strings.HasPrefix(h, "power"):
+			nPower++
+		default:
+			return nil, fmt.Errorf("trace: unknown column %q", h)
+		}
+	}
+	var out []Sample
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(fields) != 1+nTemp+nFreq+nPower {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), 1+nTemp+nFreq+nPower)
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			vals[i] = v
+		}
+		s := Sample{Time: vals[0]}
+		s.Temp = vals[1 : 1+nTemp]
+		s.Freq = make([]float64, nFreq)
+		for i := 0; i < nFreq; i++ {
+			s.Freq[i] = vals[1+nTemp+i] * 1e6 // stored as MHz
+		}
+		if nPower > 0 {
+			s.Power = vals[1+nTemp+nFreq:]
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderSamplesAndCSV(t *testing.T) {
+	r := New(2, 0)
+	r.AddSample(Sample{Time: 0.01, Temp: []float64{50, 40}, Freq: []float64{533e6, 266e6}})
+	r.AddSample(Sample{Time: 0.02, Temp: []float64{51, 41}, Freq: []float64{533e6, 266e6}, Power: []float64{0.4, 0.1}})
+	if len(r.Samples()) != 2 {
+		t.Fatalf("samples = %d", len(r.Samples()))
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time_s,temp1_c,temp2_c,freq1_mhz,freq2_mhz") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "50.000") || !strings.Contains(lines[1], "533") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSampleCopySemantics(t *testing.T) {
+	r := New(1, 0)
+	temp := []float64{50}
+	r.AddSample(Sample{Time: 0, Temp: temp, Freq: []float64{1}})
+	temp[0] = 99 // mutating caller data must not affect the record
+	if r.Samples()[0].Temp[0] != 50 {
+		t.Error("recorder shared caller slice")
+	}
+}
+
+func TestSampleCap(t *testing.T) {
+	r := New(1, 3)
+	for i := 0; i < 5; i++ {
+		r.AddSample(Sample{Time: float64(i), Temp: []float64{1}, Freq: []float64{1}})
+	}
+	if len(r.Samples()) != 3 {
+		t.Errorf("samples = %d, want cap 3", len(r.Samples()))
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestEventsCSV(t *testing.T) {
+	r := New(1, 0)
+	r.AddEvent(1.5, "migrate", "task %s moved", "BPF1")
+	var sb strings.Builder
+	if err := r.WriteEventsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1.5000,migrate") || !strings.Contains(out, "BPF1") {
+		t.Errorf("events CSV = %q", out)
+	}
+	if len(r.Events()) != 1 {
+		t.Errorf("events = %d", len(r.Events()))
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	r := New(3, 0)
+	r.AddSample(Sample{Time: 0, Temp: []float64{50}, Freq: []float64{1e6}})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(strings.TrimSpace(sb.String()), "\n")[1]
+	if got := strings.Count(row, ","); got != 6 {
+		t.Errorf("row has %d commas, want 6 (time + 3 temps + 3 freqs): %q", got, row)
+	}
+}
+
+func TestParseCSVRoundTrip(t *testing.T) {
+	r := New(2, 0)
+	r.AddSample(Sample{Time: 0.01, Temp: []float64{50.5, 40.25}, Freq: []float64{533e6, 266e6}})
+	r.AddSample(Sample{Time: 0.02, Temp: []float64{51, 41}, Freq: []float64{266e6, 266e6}})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("samples = %d", len(got))
+	}
+	if got[0].Temp[0] != 50.5 || got[0].Temp[1] != 40.25 {
+		t.Errorf("temps = %v", got[0].Temp)
+	}
+	if got[0].Freq[0] != 533e6 {
+		t.Errorf("freq = %g", got[0].Freq[0])
+	}
+	if got[1].Time != 0.02 {
+		t.Errorf("time = %g", got[1].Time)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n",
+		"time_s,temp1_c,weird\n",
+		"time_s,temp1_c,freq1_mhz\n1.0,55\n",
+		"time_s,temp1_c,freq1_mhz\n1.0,x,533\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package thermbal is a full reproduction of "Thermal Balancing Policy
+// for Streaming Computing on Multiprocessor Architectures" (Mulas et
+// al., DATE 2008): a thermal-aware MPSoC emulation framework, a
+// MiGra-style migration-based thermal balancing policy, the baseline
+// policies the paper compares against, and the Software Defined Radio
+// streaming benchmark the evaluation uses.
+//
+// The package is the public facade: it exposes experiment configuration
+// and execution without leaking the internal substrate packages. A
+// typical use:
+//
+//	res, err := thermbal.Run(thermbal.Config{
+//	    Policy:  thermbal.ThermalBalance,
+//	    Delta:   3,
+//	    Package: thermbal.MobileEmbedded,
+//	})
+//	fmt.Printf("std dev %.2f °C, %d misses, %.1f migrations/s\n",
+//	    res.PooledStdDev, res.DeadlineMisses, res.MigrationsPerSec)
+//
+// Every table and figure of the paper can be regenerated through the
+// Table*/Figure* helpers or the cmd/figures binary.
+package thermbal
+
+import (
+	"fmt"
+	"io"
+
+	"thermbal/internal/experiment"
+	"thermbal/internal/migrate"
+	"thermbal/internal/sim"
+)
+
+// PolicyKind selects the run-time management policy.
+type PolicyKind int
+
+const (
+	// EnergyBalance is the static energy-balancing baseline: the
+	// Table 2 mapping plus per-core DVFS, no run-time actions.
+	EnergyBalance PolicyKind = iota
+	// StopGo is the modified Stop&Go baseline: gate the core at the
+	// upper threshold, restart at the lower one.
+	StopGo
+	// ThermalBalance is the paper's migration-based thermal balancing
+	// policy.
+	ThermalBalance
+)
+
+// String names the policy.
+func (p PolicyKind) String() string { return p.sel().String() }
+
+func (p PolicyKind) sel() experiment.PolicySel {
+	switch p {
+	case StopGo:
+		return experiment.StopGo
+	case ThermalBalance:
+		return experiment.ThermalBalance
+	default:
+		return experiment.EnergyBalance
+	}
+}
+
+// PackageKind selects the thermal package.
+type PackageKind int
+
+const (
+	// MobileEmbedded has seconds-scale thermal dynamics (paper [6]).
+	MobileEmbedded PackageKind = iota
+	// HighPerformance has 6x faster temperature variations.
+	HighPerformance
+)
+
+// String names the package.
+func (p PackageKind) String() string { return p.sel().String() }
+
+func (p PackageKind) sel() experiment.PackageSel {
+	if p == HighPerformance {
+		return experiment.HighPerf
+	}
+	return experiment.Mobile
+}
+
+// Config describes one experiment on the 3-core streaming MPSoC running
+// the SDR benchmark.
+type Config struct {
+	// Policy is the management policy (default EnergyBalance).
+	Policy PolicyKind
+	// Delta is the threshold distance from the mean temperature in °C
+	// (used by StopGo and ThermalBalance; the paper sweeps 2..5).
+	Delta float64
+	// Package selects the thermal package (default MobileEmbedded).
+	Package PackageKind
+	// WarmupS is the initial phase before the policy engages
+	// (default 12.5 s, the paper's first execution phase).
+	WarmupS float64
+	// MeasureS is the measurement window (default 30 s).
+	MeasureS float64
+	// QueueCap is the inter-task queue capacity in frames (default 11,
+	// the paper's minimum sustainable size).
+	QueueCap int
+	// Recreation selects the task-recreation migration mechanism
+	// instead of the default task-replication.
+	Recreation bool
+}
+
+// Result is the outcome of a run over its measurement window.
+// It mirrors the metrics of the paper's Section 5: temperature
+// deviation, QoS (deadline misses) and migration overhead.
+type Result = sim.Result
+
+// Run executes one experiment.
+func Run(cfg Config) (Result, error) {
+	mech := migrate.Replication
+	if cfg.Recreation {
+		mech = migrate.Recreation
+	}
+	res, _, err := experiment.Run(experiment.RunConfig{
+		Policy:    cfg.Policy.sel(),
+		Delta:     cfg.Delta,
+		Package:   cfg.Package.sel(),
+		WarmupS:   cfg.WarmupS,
+		MeasureS:  cfg.MeasureS,
+		QueueCap:  cfg.QueueCap,
+		Mechanism: mech,
+	})
+	return res, err
+}
+
+// Deltas is the paper's threshold sweep (2..5 °C).
+func Deltas() []float64 {
+	return append([]float64(nil), experiment.Deltas...)
+}
+
+// Table1 renders the component power table (paper Table 1).
+func Table1() string { return experiment.FormatTable1() }
+
+// Table2 renders the application mapping (paper Table 2).
+func Table2() (string, error) { return experiment.FormatTable2() }
+
+// Figure2 renders the migration cost curves (paper Figure 2).
+func Figure2() (string, error) {
+	rows, err := experiment.Fig2(nil)
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatFig2(rows), nil
+}
+
+// WriteAllFigures regenerates every table and figure of the paper's
+// evaluation and writes them to w. This runs the full sweeps (both
+// packages, three policies, four thresholds) and takes a few seconds.
+func WriteAllFigures(w io.Writer) error {
+	fmt.Fprint(w, Table1())
+	fmt.Fprintln(w)
+	t2, err := Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, t2)
+	fmt.Fprintln(w)
+	f2, err := Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, f2)
+	fmt.Fprintln(w)
+
+	mob, err := experiment.Sweep(experiment.Mobile, nil)
+	if err != nil {
+		return err
+	}
+	hp, err := experiment.Sweep(experiment.HighPerf, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, experiment.FormatStdDevFigure("Figure 7", experiment.Mobile, mob, nil))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, experiment.FormatMissFigure("Figure 8", experiment.Mobile, mob, nil))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, experiment.FormatStdDevFigure("Figure 9", experiment.HighPerf, hp, nil))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, experiment.FormatMissFigure("Figure 10", experiment.HighPerf, hp, nil))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, experiment.FormatFig11(experiment.Fig11(mob, hp, nil)))
+	return nil
+}

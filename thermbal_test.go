@@ -1,0 +1,91 @@
+package thermbal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	res, err := Run(Config{
+		Policy:   ThermalBalance,
+		Delta:    3,
+		Package:  MobileEmbedded,
+		WarmupS:  12.5,
+		MeasureS: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "thermal-balance" {
+		t.Errorf("policy name = %q", res.PolicyName)
+	}
+	if res.Migrations == 0 {
+		t.Error("no migrations at delta 3")
+	}
+	if res.PooledStdDev <= 0 {
+		t.Error("no deviation measured")
+	}
+}
+
+func TestRunFacadeRecreation(t *testing.T) {
+	res, err := Run(Config{
+		Policy:     ThermalBalance,
+		Delta:      2,
+		Recreation: true,
+		WarmupS:    12.5,
+		MeasureS:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recreation moves state+code per migration.
+	if res.Migrations > 0 && res.MigratedBytes <= float64(res.Migrations)*64*1024 {
+		t.Errorf("recreation moved only %g bytes over %d migrations", res.MigratedBytes, res.Migrations)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if EnergyBalance.String() != "energy-balance" ||
+		StopGo.String() != "stop&go" ||
+		ThermalBalance.String() != "thermal-balance" {
+		t.Error("policy kind names wrong")
+	}
+	if MobileEmbedded.String() != "mobile-embedded" ||
+		HighPerformance.String() != "high-performance" {
+		t.Error("package kind names wrong")
+	}
+}
+
+func TestDeltasCopy(t *testing.T) {
+	d := Deltas()
+	if len(d) != 4 || d[0] != 2 || d[3] != 5 {
+		t.Errorf("Deltas = %v", d)
+	}
+	d[0] = 99
+	if Deltas()[0] != 2 {
+		t.Error("Deltas returned shared slice")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(Table1(), "0.500 W") {
+		t.Errorf("Table1:\n%s", Table1())
+	}
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2, "BPF2") {
+		t.Errorf("Table2:\n%s", t2)
+	}
+}
+
+func TestFigure2Renders(t *testing.T) {
+	f2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "task-recreation") {
+		t.Errorf("Figure2:\n%s", f2)
+	}
+}
