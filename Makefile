@@ -1,0 +1,27 @@
+# Tier-1 verification is one command: `make` (or `make check`).
+
+GO ?= go
+
+.PHONY: check build vet test bench bench-thermal clean
+
+check: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Wall-clock comparison of the serial vs parallel experiment runner.
+bench:
+	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 3x .
+
+# Integrator stepping cost on the high-performance package.
+bench-thermal:
+	$(GO) test -bench BenchmarkStep -run '^$$' ./internal/thermal
+
+clean:
+	$(GO) clean ./...

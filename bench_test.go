@@ -1,6 +1,8 @@
 package thermbal
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -153,6 +155,40 @@ func BenchmarkFig11MigrationRate(b *testing.B) {
 		}
 	}
 }
+
+// benchSweepWorkers runs a reduced threshold sweep (both packages,
+// thermal-balance at every threshold, short windows) across the given
+// worker count — the wall-clock comparison for the parallel Runner.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	var cfgs []experiment.RunConfig
+	for _, pkg := range []experiment.PackageSel{experiment.Mobile, experiment.HighPerf} {
+		for _, d := range experiment.Deltas {
+			cfgs = append(cfgs, experiment.RunConfig{
+				Policy: experiment.ThermalBalance, Delta: d, Package: pkg,
+				WarmupS: 2, MeasureS: 3,
+			})
+		}
+	}
+	r := experiment.Runner{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.RunAll(context.Background(), r, cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(cfgs) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the pre-refactor behavior: one run at a time.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel spreads the same runs over GOMAXPROCS workers;
+// the wall-clock ratio to BenchmarkSweepSerial is the Runner's speedup.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkEngineTick measures raw simulation throughput: simulated
 // seconds per wall second of the full platform (scheduler + thermal +

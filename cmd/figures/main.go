@@ -8,21 +8,39 @@
 //	figures              # everything (~10 s)
 //	figures -only fig7   # a single figure
 //	figures -only narrative
+//	figures -workers 8 -integrator rk4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/thermal"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	only := flag.String("only", "", "table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|narrative|ablations|scale (empty = all)")
+	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	integrator := flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
 	flag.Parse()
+
+	scheme, err := thermal.ParseScheme(*integrator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := experiment.Options{
+		Runner:  experiment.Runner{Workers: *workers},
+		Thermal: thermal.Config{Scheme: scheme},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	want := func(key string) bool { return *only == "" || *only == key }
 
@@ -31,15 +49,15 @@ func main() {
 		fmt.Println()
 	}
 	if want("table2") {
-		out, err := experiment.FormatTable2()
+		rows, err := experiment.Table2With(ctx, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(out)
+		fmt.Print(experiment.FormatTable2Rows(rows))
 		fmt.Println()
 	}
 	if want("fig2") {
-		rows, err := experiment.Fig2(nil)
+		rows, err := experiment.Fig2With(ctx, opt, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,15 +68,14 @@ func main() {
 	needMobile := want("fig7") || want("fig8") || want("fig11")
 	needHP := want("fig9") || want("fig10") || want("fig11")
 	var mob, hp []experiment.SweepPoint
-	var err error
 	if needMobile {
-		mob, err = experiment.Sweep(experiment.Mobile, nil)
+		mob, err = experiment.SweepWith(ctx, opt, experiment.Mobile, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	if needHP {
-		hp, err = experiment.Sweep(experiment.HighPerf, nil)
+		hp, err = experiment.SweepWith(ctx, opt, experiment.HighPerf, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +109,7 @@ func main() {
 	}
 
 	if want("ablations") {
-		out, err := experiment.AllAblations()
+		out, err := experiment.AllAblationsWith(ctx, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +118,7 @@ func main() {
 	}
 
 	if want("scale") {
-		rows, err := experiment.Scale(nil, 11)
+		rows, err := experiment.ScaleWith(ctx, opt, nil, 11)
 		if err != nil {
 			log.Fatal(err)
 		}

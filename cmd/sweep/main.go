@@ -6,16 +6,22 @@
 //	sweep                    # both packages, thresholds 2..5
 //	sweep -package mobile    # one package
 //	sweep -deltas 2,3,4,5,6  # custom thresholds
+//	sweep -workers 8         # spread the runs over 8 workers
+//	sweep -integrator rk4    # higher-order thermal integration
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/thermal"
 )
 
 func parseDeltas(s string) ([]float64, error) {
@@ -38,8 +44,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		pkgName  = flag.String("package", "both", "mobile | highperf | both")
-		deltaStr = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
+		pkgName    = flag.String("package", "both", "mobile | highperf | both")
+		deltaStr   = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
+		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
 	)
 	flag.Parse()
 
@@ -47,6 +55,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	scheme, err := thermal.ParseScheme(*integrator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := experiment.Options{
+		Runner:  experiment.Runner{Workers: *workers},
+		Thermal: thermal.Config{Scheme: scheme},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	useDeltas := deltas
 	if useDeltas == nil {
 		useDeltas = experiment.Deltas
@@ -63,7 +81,7 @@ func main() {
 
 	var mob, hp []experiment.SweepPoint
 	if wantMobile {
-		mob, err = experiment.Sweep(experiment.Mobile, useDeltas)
+		mob, err = experiment.SweepWith(ctx, opt, experiment.Mobile, useDeltas)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +91,7 @@ func main() {
 		fmt.Println()
 	}
 	if wantHP {
-		hp, err = experiment.Sweep(experiment.HighPerf, useDeltas)
+		hp, err = experiment.SweepWith(ctx, opt, experiment.HighPerf, useDeltas)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,16 +7,21 @@
 //	thermsim -policy thermal-balance -delta 3 -package mobile
 //	thermsim -policy stop-go -delta 2 -package highperf -measure 30
 //	thermsim -policy thermal-balance -delta 3 -trace run.csv -events ev.csv
+//	thermsim -policy all -delta 3 -workers 3    # compare all policies in parallel
+//	thermsim -policy thermal-balance -integrator rk4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"thermbal/internal/experiment"
 	"thermbal/internal/migrate"
+	"thermbal/internal/thermal"
 )
 
 func main() {
@@ -24,34 +29,31 @@ func main() {
 	log.SetPrefix("thermsim: ")
 
 	var (
-		policyName = flag.String("policy", "thermal-balance", "policy: energy-balance | stop-go | thermal-balance")
+		policyName = flag.String("policy", "thermal-balance", "policy: energy-balance | stop-go | thermal-balance | all")
 		delta      = flag.Float64("delta", 3, "threshold distance from mean temperature (°C)")
 		pkgName    = flag.String("package", "mobile", "thermal package: mobile | highperf")
 		warmup     = flag.Float64("warmup", experiment.DefaultWarmupS, "warm-up before the policy engages (s)")
 		measure    = flag.Float64("measure", experiment.DefaultMeasureS, "measurement window (s)")
 		queueCap   = flag.Int("queue", 0, "inter-task queue capacity in frames (default 11)")
 		recreate   = flag.Bool("recreation", false, "use task-recreation instead of task-replication")
+		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
+		workers    = flag.Int("workers", 0, "worker pool size for -policy all (default GOMAXPROCS)")
 		traceOut   = flag.String("trace", "", "write the temperature/frequency timeline CSV to this file")
 		eventsOut  = flag.String("events", "", "write the event log CSV to this file")
 	)
 	flag.Parse()
 
+	scheme, err := thermal.ParseScheme(*integrator)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rc := experiment.RunConfig{
 		Delta:    *delta,
 		WarmupS:  *warmup,
 		MeasureS: *measure,
 		QueueCap: *queueCap,
 		Trace:    *traceOut != "" || *eventsOut != "",
-	}
-	switch *policyName {
-	case "energy-balance", "eb":
-		rc.Policy = experiment.EnergyBalance
-	case "stop-go", "stopgo", "stop&go", "sg":
-		rc.Policy = experiment.StopGo
-	case "thermal-balance", "tb", "migra":
-		rc.Policy = experiment.ThermalBalance
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
+		Thermal:  thermal.Config{Scheme: scheme},
 	}
 	switch *pkgName {
 	case "mobile", "embedded":
@@ -63,6 +65,22 @@ func main() {
 	}
 	if *recreate {
 		rc.Mechanism = migrate.Recreation
+	}
+	switch *policyName {
+	case "energy-balance", "eb":
+		rc.Policy = experiment.EnergyBalance
+	case "stop-go", "stopgo", "stop&go", "sg":
+		rc.Policy = experiment.StopGo
+	case "thermal-balance", "tb", "migra":
+		rc.Policy = experiment.ThermalBalance
+	case "all":
+		if rc.Trace {
+			log.Fatal("-trace/-events require a single policy")
+		}
+		comparePolicies(rc, *workers)
+		return
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
 	}
 
 	res, eng, err := experiment.Run(rc)
@@ -120,5 +138,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("events written   %s (%d events)\n", *eventsOut, len(eng.Recorder().Events()))
+	}
+}
+
+// comparePolicies runs all three policies under the same configuration
+// across the worker pool and prints a side-by-side summary.
+func comparePolicies(rc experiment.RunConfig, workers int) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	policies := []experiment.PolicySel{
+		experiment.EnergyBalance, experiment.StopGo, experiment.ThermalBalance,
+	}
+	cfgs := make([]experiment.RunConfig, len(policies))
+	for i, pol := range policies {
+		cfgs[i] = rc
+		cfgs[i].Policy = pol
+	}
+	results, err := experiment.RunAll(ctx, experiment.Runner{Workers: workers}, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("package %s, threshold ±%.1f °C, %.1f s window, integrator %s\n\n",
+		rc.Package, rc.Delta, rc.MeasureS, rc.Thermal.Scheme)
+	fmt.Println("policy           std[°C]  spatial  misses  rate%   migr  mig/s  energy[J]")
+	for i, pol := range policies {
+		r := results[i]
+		fmt.Printf("%-16s %7.3f  %7.3f  %6d  %5.2f  %5d  %5.2f  %9.3f\n",
+			pol, r.PooledStdDev, r.SpatialStdDev, r.DeadlineMisses, r.MissRatePct,
+			r.Migrations, r.MigrationsPerSec, r.TotalEnergyJ)
 	}
 }

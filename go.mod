@@ -1,0 +1,3 @@
+module thermbal
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,20 @@ func ablRow(label string, rc RunConfig) (AblationRow, error) {
 	}, nil
 }
 
+// ablSpec is one labelled configuration of an ablation study.
+type ablSpec struct {
+	label string
+	rc    RunConfig
+}
+
+// ablRows runs every spec across opt's worker pool, preserving order.
+func ablRows(ctx context.Context, opt Options, specs []ablSpec) ([]AblationRow, error) {
+	return collect(ctx, opt.Runner, specs, func(_ context.Context, s ablSpec) (AblationRow, error) {
+		s.rc.Thermal = opt.Thermal
+		return ablRow(s.label, s.rc)
+	})
+}
+
 // FormatAblation renders rows as a titled table.
 func FormatAblation(title string, rows []AblationRow) string {
 	var b strings.Builder
@@ -54,20 +69,21 @@ func FormatAblation(title string, rows []AblationRow) string {
 // migration rate limiter) at the operating threshold. Shorter periods
 // chase the temperature faster but multiply migrations.
 func AblateDaemonPeriod(periods []float64) ([]AblationRow, error) {
+	return AblateDaemonPeriodWith(context.Background(), Options{}, periods)
+}
+
+// AblateDaemonPeriodWith is AblateDaemonPeriod on opt's worker pool.
+func AblateDaemonPeriodWith(ctx context.Context, opt Options, periods []float64) ([]AblationRow, error) {
 	if len(periods) == 0 {
 		periods = []float64{0.05, 0.1, 0.3, 1.0, 3.0}
 	}
-	rows := make([]AblationRow, 0, len(periods))
+	specs := make([]ablSpec, 0, len(periods))
 	for _, p := range periods {
-		r, err := ablRow(fmt.Sprintf("period=%.2fs", p), RunConfig{
+		specs = append(specs, ablSpec{fmt.Sprintf("period=%.2fs", p), RunConfig{
 			Policy: ThermalBalance, Delta: 3, Package: Mobile, MinInterval: p,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		}})
 	}
-	return rows, nil
+	return ablRows(ctx, opt, specs)
 }
 
 // AblateTopK varies the number of highest-load tasks the selection
@@ -75,81 +91,91 @@ func AblateDaemonPeriod(periods []float64) ([]AblationRow, error) {
 // number of tasks to be considered only to the few tasks having the
 // highest load").
 func AblateTopK(ks []int) ([]AblationRow, error) {
+	return AblateTopKWith(context.Background(), Options{}, ks)
+}
+
+// AblateTopKWith is AblateTopK on opt's worker pool.
+func AblateTopKWith(ctx context.Context, opt Options, ks []int) ([]AblationRow, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2, 3, 6}
 	}
-	rows := make([]AblationRow, 0, len(ks))
+	specs := make([]ablSpec, 0, len(ks))
 	for _, k := range ks {
-		r, err := ablRow(fmt.Sprintf("topK=%d", k), RunConfig{
+		specs = append(specs, ablSpec{fmt.Sprintf("topK=%d", k), RunConfig{
 			Policy: ThermalBalance, Delta: 3, Package: Mobile, TopK: k,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		}})
 	}
-	return rows, nil
+	return ablRows(ctx, opt, specs)
 }
 
 // AblateCostFilter varies the MiGra freeze-time budget. A very tight
 // budget filters every migration (the policy degenerates to DVFS), a
 // loose one admits everything.
 func AblateCostFilter(budgets []float64) ([]AblationRow, error) {
+	return AblateCostFilterWith(context.Background(), Options{}, budgets)
+}
+
+// AblateCostFilterWith is AblateCostFilter on opt's worker pool.
+func AblateCostFilterWith(ctx context.Context, opt Options, budgets []float64) ([]AblationRow, error) {
 	if len(budgets) == 0 {
 		budgets = []float64{0.05, 0.15, 0.25, 1.0}
 	}
-	rows := make([]AblationRow, 0, len(budgets))
+	specs := make([]ablSpec, 0, len(budgets))
 	for _, bud := range budgets {
-		r, err := ablRow(fmt.Sprintf("maxFreeze=%.0fms", bud*1e3), RunConfig{
+		specs = append(specs, ablSpec{fmt.Sprintf("maxFreeze=%.0fms", bud*1e3), RunConfig{
 			Policy: ThermalBalance, Delta: 3, Package: Mobile, MaxFreezeS: bud,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		}})
 	}
-	return rows, nil
+	return ablRows(ctx, opt, specs)
 }
 
 // AblateMechanism compares task-replication against task-recreation at
 // the operating point (paper Section 3.2: replication trades memory for
 // speed).
 func AblateMechanism() ([]AblationRow, error) {
-	var rows []AblationRow
+	return AblateMechanismWith(context.Background(), Options{})
+}
+
+// AblateMechanismWith is AblateMechanism on opt's worker pool.
+func AblateMechanismWith(ctx context.Context, opt Options) ([]AblationRow, error) {
+	var specs []ablSpec
 	for _, m := range []migrate.Mechanism{migrate.Replication, migrate.Recreation} {
-		r, err := ablRow(m.String(), RunConfig{
+		specs = append(specs, ablSpec{m.String(), RunConfig{
 			Policy: ThermalBalance, Delta: 3, Package: Mobile, Mechanism: m,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		}})
 	}
-	return rows, nil
+	return ablRows(ctx, opt, specs)
 }
 
 // AblateQueueCap reproduces the queue-sizing observation (Section 5.2:
 // "the minimum queue size to sustain migration in our experiments was
 // 11 frames").
 func AblateQueueCap(caps []int) ([]AblationRow, error) {
+	return AblateQueueCapWith(context.Background(), Options{}, caps)
+}
+
+// AblateQueueCapWith is AblateQueueCap on opt's worker pool.
+func AblateQueueCapWith(ctx context.Context, opt Options, caps []int) ([]AblationRow, error) {
 	if len(caps) == 0 {
 		caps = []int{3, 5, 8, 11, 16}
 	}
-	rows := make([]AblationRow, 0, len(caps))
+	specs := make([]ablSpec, 0, len(caps))
 	for _, c := range caps {
-		r, err := ablRow(fmt.Sprintf("queue=%d frames", c), RunConfig{
+		specs = append(specs, ablSpec{fmt.Sprintf("queue=%d frames", c), RunConfig{
 			Policy: ThermalBalance, Delta: 3, Package: Mobile, QueueCap: c,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		}})
 	}
-	return rows, nil
+	return ablRows(ctx, opt, specs)
 }
 
 // AllAblations runs every ablation and renders them.
 func AllAblations() (string, error) {
+	return AllAblationsWith(context.Background(), Options{})
+}
+
+// AllAblationsWith is AllAblations with each study's configurations run
+// across opt's worker pool (studies render in fixed order).
+func AllAblationsWith(ctx context.Context, opt Options) (string, error) {
 	var b strings.Builder
 	type study struct {
 		title string
@@ -157,15 +183,15 @@ func AllAblations() (string, error) {
 	}
 	studies := []study{
 		{"Ablation A1: master-daemon period (thermal-balance, ±3 °C, mobile)",
-			func() ([]AblationRow, error) { return AblateDaemonPeriod(nil) }},
+			func() ([]AblationRow, error) { return AblateDaemonPeriodWith(ctx, opt, nil) }},
 		{"Ablation A2: task-subset bound TopK",
-			func() ([]AblationRow, error) { return AblateTopK(nil) }},
+			func() ([]AblationRow, error) { return AblateTopKWith(ctx, opt, nil) }},
 		{"Ablation A3: MiGra freeze-cost budget",
-			func() ([]AblationRow, error) { return AblateCostFilter(nil) }},
+			func() ([]AblationRow, error) { return AblateCostFilterWith(ctx, opt, nil) }},
 		{"Ablation A4: migration mechanism",
-			AblateMechanism},
+			func() ([]AblationRow, error) { return AblateMechanismWith(ctx, opt) }},
 		{"Ablation A5: queue capacity (paper: 11-frame minimum)",
-			func() ([]AblationRow, error) { return AblateQueueCap(nil) }},
+			func() ([]AblationRow, error) { return AblateQueueCapWith(ctx, opt, nil) }},
 	}
 	for i, st := range studies {
 		rows, err := st.run()

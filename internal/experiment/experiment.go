@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -94,6 +95,9 @@ type RunConfig struct {
 	Mechanism migrate.Mechanism
 	QueueCap  int // default stream.DefaultQueueCap
 	Trace     bool
+	// Thermal selects the RC-network integration scheme (zero value =
+	// explicit Euler).
+	Thermal thermal.Config
 
 	// Balancer knobs (ThermalBalance only; zero = policy defaults).
 	// Used by the ablation studies.
@@ -133,6 +137,9 @@ func (rc RunConfig) policy() policy.Policy {
 // Run executes one configuration and returns its summary. The engine is
 // also returned for callers needing traces or raw state.
 func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
+	if rc.Delta < 0 {
+		return sim.Result{}, nil, fmt.Errorf("experiment: negative threshold delta %g", rc.Delta)
+	}
 	rc.fill()
 	g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: rc.QueueCap})
 	if err != nil {
@@ -147,6 +154,7 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 		MeasureStartS: rc.WarmupS,
 		Mechanism:     rc.Mechanism,
 		RecordTrace:   rc.Trace,
+		Thermal:       rc.Thermal,
 	}, plat, g, rc.policy())
 	if err != nil {
 		return sim.Result{}, nil, err
@@ -205,15 +213,29 @@ type Table2Row struct {
 // Table2 derives the static energy-balanced mapping: task placement
 // from the benchmark definition, frequencies from the DVFS ladder.
 func Table2() ([]Table2Row, error) {
+	return Table2With(context.Background(), Options{})
+}
+
+// Table2With is Table2 with the per-core derivations spread across
+// opt's worker pool.
+func Table2With(ctx context.Context, opt Options) ([]Table2Row, error) {
 	g, err := stream.BuildSDR(stream.SDRConfig{})
 	if err != nil {
 		return nil, err
 	}
 	ladder := dvfs.Default()
 	// Per-core FSE sums -> frequency.
+	const nCores = 3
+	freqByCore := make([]float64, nCores)
+	if err := opt.ForEach(ctx, nCores, func(_ context.Context, c int) error {
+		freqByCore[c] = ladder.LevelFor(task.TotalFSE(task.OnCore(g.Tasks(), c)))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	freq := map[int]float64{}
-	for c := 0; c < 3; c++ {
-		freq[c] = ladder.LevelFor(task.TotalFSE(task.OnCore(g.Tasks(), c)))
+	for c, f := range freqByCore {
+		freq[c] = f
 	}
 	var rows []Table2Row
 	// Paper order: core 1 (BPF1, DEMOD), core 2 (BPF2, SUM),
@@ -241,6 +263,12 @@ func FormatTable2() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return FormatTable2Rows(rows), nil
+}
+
+// FormatTable2Rows renders pre-computed mapping rows like the paper's
+// Table 2.
+func FormatTable2Rows(rows []Table2Row) string {
 	var b strings.Builder
 	b.WriteString("Table 2: Application mapping\n")
 	b.WriteString("  Core / freq.        Task    Load [%]\n")
@@ -253,7 +281,7 @@ func FormatTable2() (string, error) {
 		}
 		fmt.Fprintf(&b, "  %-18s  %-6s  %5.1f\n", label, r.Task, r.LoadPct)
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 // ---------------------------------------------------------------------
@@ -272,47 +300,63 @@ var Fig2Sizes = []int{16, 32, 64, 128, 256, 384, 512}
 // Fig2 measures, by direct simulation of the middleware and bus, the
 // migration cost in processor cycles as a function of task size.
 func Fig2(sizesKB []int) ([]Fig2Row, error) {
+	return Fig2With(context.Background(), Options{}, sizesKB)
+}
+
+// measureMigrationCost simulates one migration of a sizeKB task on a
+// private bus and returns its freeze duration in processor cycles.
+func measureMigrationCost(mech migrate.Mechanism, sizeKB int) (float64, error) {
+	const fHz = 533e6
+	b := bus.New(bus.Params{})
+	m := migrate.NewManager(b, mech)
+	t := task.MustNew("probe", 0.3)
+	t.StateBytes = float64(sizeKB << 10)
+	t.CodeBytes = float64(sizeKB << 10) // image scales with task size
+	t.Core = 0
+	mg, err := m.Request(t, 0, 1, 0)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.AtCheckpoint(0, 0); err != nil {
+		return 0, err
+	}
+	const h = 1e-4
+	now := 0.0
+	for i := 0; i < 10_000_000 && mg.Phase != migrate.Done; i++ {
+		b.Advance(h)
+		now += h
+		m.Advance(now)
+	}
+	if mg.Phase != migrate.Done {
+		return 0, fmt.Errorf("experiment: migration of %d KB never finished", sizeKB)
+	}
+	return mg.FreezeDuration() * fHz, nil
+}
+
+// Fig2With is Fig2 with every (size, mechanism) probe run across opt's
+// worker pool. Each probe builds its own bus and middleware, so results
+// match the serial order exactly.
+func Fig2With(ctx context.Context, opt Options, sizesKB []int) ([]Fig2Row, error) {
 	if len(sizesKB) == 0 {
 		sizesKB = Fig2Sizes
 	}
-	const fHz = 533e6
-	measure := func(mech migrate.Mechanism, sizeKB int) (float64, error) {
-		b := bus.New(bus.Params{})
-		m := migrate.NewManager(b, mech)
-		t := task.MustNew("probe", 0.3)
-		t.StateBytes = float64(sizeKB << 10)
-		t.CodeBytes = float64(sizeKB << 10) // image scales with task size
-		t.Core = 0
-		mg, err := m.Request(t, 0, 1, 0)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := m.AtCheckpoint(0, 0); err != nil {
-			return 0, err
-		}
-		const h = 1e-4
-		now := 0.0
-		for i := 0; i < 10_000_000 && mg.Phase != migrate.Done; i++ {
-			b.Advance(h)
-			now += h
-			m.Advance(now)
-		}
-		if mg.Phase != migrate.Done {
-			return 0, fmt.Errorf("experiment: migration of %d KB never finished", sizeKB)
-		}
-		return mg.FreezeDuration() * fHz, nil
+	type probe struct {
+		sizeKB int
+		mech   migrate.Mechanism
+	}
+	probes := make([]probe, 0, 2*len(sizesKB))
+	for _, kb := range sizesKB {
+		probes = append(probes, probe{kb, migrate.Replication}, probe{kb, migrate.Recreation})
+	}
+	costs, err := collect(ctx, opt.Runner, probes, func(_ context.Context, p probe) (float64, error) {
+		return measureMigrationCost(p.mech, p.sizeKB)
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]Fig2Row, 0, len(sizesKB))
-	for _, kb := range sizesKB {
-		repl, err := measure(migrate.Replication, kb)
-		if err != nil {
-			return nil, err
-		}
-		recr, err := measure(migrate.Recreation, kb)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig2Row{TaskSizeKB: kb, Replication: repl, Recreation: recr})
+	for i, kb := range sizesKB {
+		rows = append(rows, Fig2Row{TaskSizeKB: kb, Replication: costs[2*i], Recreation: costs[2*i+1]})
 	}
 	return rows, nil
 }
@@ -343,24 +387,36 @@ type SweepPoint struct {
 // result is replicated across the delta axis (the paper plots it as a
 // flat reference line).
 func Sweep(pkg PackageSel, deltas []float64) ([]SweepPoint, error) {
+	return SweepWith(context.Background(), Options{}, pkg, deltas)
+}
+
+// SweepWith is Sweep with the runs spread across opt's worker pool.
+// Point order and values are identical for any worker count.
+func SweepWith(ctx context.Context, opt Options, pkg PackageSel, deltas []float64) ([]SweepPoint, error) {
 	if len(deltas) == 0 {
 		deltas = Deltas
 	}
-	var out []SweepPoint
-	ebRes, _, err := Run(RunConfig{Policy: EnergyBalance, Package: pkg})
+	policies := []PolicySel{StopGo, ThermalBalance}
+	cfgs := make([]RunConfig, 0, 1+len(policies)*len(deltas))
+	cfgs = append(cfgs, RunConfig{Policy: EnergyBalance, Package: pkg, Thermal: opt.Thermal})
+	for _, pol := range policies {
+		for _, d := range deltas {
+			cfgs = append(cfgs, RunConfig{Policy: pol, Delta: d, Package: pkg, Thermal: opt.Thermal})
+		}
+	}
+	results, err := RunAll(ctx, opt.Runner, cfgs)
 	if err != nil {
 		return nil, err
 	}
+	out := make([]SweepPoint, 0, (1+len(policies))*len(deltas))
 	for _, d := range deltas {
-		out = append(out, SweepPoint{Policy: EnergyBalance, Delta: d, Result: ebRes})
+		out = append(out, SweepPoint{Policy: EnergyBalance, Delta: d, Result: results[0]})
 	}
-	for _, pol := range []PolicySel{StopGo, ThermalBalance} {
+	i := 1
+	for _, pol := range policies {
 		for _, d := range deltas {
-			r, _, err := Run(RunConfig{Policy: pol, Delta: d, Package: pkg})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepPoint{Policy: pol, Delta: d, Result: r})
+			out = append(out, SweepPoint{Policy: pol, Delta: d, Result: results[i]})
+			i++
 		}
 	}
 	return out, nil

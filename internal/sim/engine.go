@@ -18,6 +18,7 @@ import (
 	"thermbal/internal/sched"
 	"thermbal/internal/stream"
 	"thermbal/internal/task"
+	"thermbal/internal/thermal"
 	"thermbal/internal/trace"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	Mechanism migrate.Mechanism
 	// RecordTrace enables the timeline recorder.
 	RecordTrace bool
+	// Thermal selects the RC-network integration scheme (zero value =
+	// explicit Euler, the seed behavior).
+	Thermal thermal.Config
 }
 
 func (c *Config) fill() {
@@ -102,6 +106,7 @@ func New(cfg Config, plat *mpsoc.Platform, g *stream.Graph, pol policy.Policy) (
 	if cfg.RecordTrace {
 		e.rec = trace.New(n, 0)
 	}
+	plat.Thermal.Net.SetIntegrator(thermal.NewIntegrator(cfg.Thermal))
 	for ti, t := range g.Tasks() {
 		if t.Core < 0 || t.Core >= n {
 			return nil, fmt.Errorf("sim: task %q placed on core %d (platform has %d)", t.Name, t.Core, n)

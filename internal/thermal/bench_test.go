@@ -1,0 +1,53 @@
+package thermal
+
+import (
+	"testing"
+
+	"thermbal/internal/floorplan"
+)
+
+// benchModel builds the 3-core model on the high-performance package —
+// the worst case for the stability bound (1/6 the thermal mass) and the
+// configuration the integrator refactor targets.
+func benchModel(b *testing.B, scheme Scheme) *Model {
+	b.Helper()
+	m, err := NewModel(floorplan.Default3Core(), HighPerformance())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Net.SetIntegrator(NewIntegrator(Config{Scheme: scheme}))
+	return m
+}
+
+// benchSteadyStepping drives one simulated second of 10 ms sensor
+// periods under constant power near steady state, the hot path of every
+// experiment run.
+func benchSteadyStepping(b *testing.B, scheme Scheme) {
+	m := benchModel(b, scheme)
+	power := make([]float64, len(m.FP.Blocks))
+	power[0], power[1], power[2] = 0.5, 0.4, 0.3
+	if err := m.Settle(power); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 100; s++ { // 1 simulated second
+			if err := m.Step(10e-3, power); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(m.Net.StepsPerInterval(10e-3)), "substeps/period")
+}
+
+// BenchmarkStepEulerHighPerf measures explicit Euler on the
+// high-performance package (the seed scheme).
+func BenchmarkStepEulerHighPerf(b *testing.B) { benchSteadyStepping(b, Euler) }
+
+// BenchmarkStepRK4HighPerf measures RK4, which covers each sensor
+// period in ~1.39x fewer substeps.
+func BenchmarkStepRK4HighPerf(b *testing.B) { benchSteadyStepping(b, RK4) }
+
+// BenchmarkStepRK4AdaptiveHighPerf measures the step-doubling adaptive
+// controller, which rides the stability bound at steady state.
+func BenchmarkStepRK4AdaptiveHighPerf(b *testing.B) { benchSteadyStepping(b, RK4Adaptive) }

@@ -1,0 +1,38 @@
+package thermal
+
+// eulerIntegrator is the explicit forward-Euler scheme, the default and
+// the reference: its substep loop reproduces the seed Network.Step
+// bit-for-bit.
+type eulerIntegrator struct {
+	dTdt []float64
+}
+
+func newEuler() *eulerIntegrator { return &eulerIntegrator{} }
+
+func (e *eulerIntegrator) Name() string { return Euler.String() }
+
+func (e *eulerIntegrator) MaxStep(v View) float64 { return v.EulerMaxStep() }
+
+func (e *eulerIntegrator) Advance(v View, temps []float64, dt float64, power []float64) {
+	e.dTdt = growScratch(e.dTdt, v.NumNodes())
+	max := v.EulerMaxStep()
+	for dt > 0 {
+		h := dt
+		if h > max {
+			h = max
+		}
+		v.Deriv(temps, power, e.dTdt)
+		for i := range temps {
+			temps[i] += h * e.dTdt[i]
+		}
+		dt -= h
+	}
+}
+
+// growScratch returns buf resized to n, reusing capacity.
+func growScratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

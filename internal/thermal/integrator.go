@@ -1,0 +1,135 @@
+package thermal
+
+import "fmt"
+
+// Scheme names a time-integration scheme for the RC network.
+type Scheme int
+
+const (
+	// Euler is the explicit forward-Euler scheme, stable for steps up to
+	// min C_i/ΣG_i (the network caches half that as a margin). The
+	// default, and the seed behavior bit-for-bit.
+	Euler Scheme = iota
+	// RK4 is the classical fourth-order Runge-Kutta scheme. Its
+	// stability interval on the negative real axis extends to |hλ| ≤
+	// 2.785 versus Euler's 2, so it covers a sensor period in ~1.39x
+	// fewer substeps at far higher accuracy per step.
+	RK4
+	// RK4Adaptive is RK4 under a step-doubling error controller: each
+	// step is compared against two half steps and the size adjusted to
+	// hold the per-step error under Config.Tol, never exceeding the RK4
+	// stability bound.
+	RK4Adaptive
+)
+
+// String names the scheme as accepted by ParseScheme.
+func (s Scheme) String() string {
+	switch s {
+	case RK4:
+		return "rk4"
+	case RK4Adaptive:
+		return "rk4-adaptive"
+	default:
+		return "euler"
+	}
+}
+
+// ParseScheme parses a scheme name (as printed by String, plus common
+// short forms).
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "euler", "":
+		return Euler, nil
+	case "rk4":
+		return RK4, nil
+	case "rk4-adaptive", "rk4a", "adaptive":
+		return RK4Adaptive, nil
+	}
+	return Euler, fmt.Errorf("thermal: unknown integrator %q (want euler, rk4 or rk4-adaptive)", name)
+}
+
+// Config selects and tunes the integration scheme. The zero value is the
+// default explicit Euler.
+type Config struct {
+	// Scheme selects the integrator.
+	Scheme Scheme
+	// Tol is the per-substep absolute error tolerance in °C for adaptive
+	// schemes (default 1e-6). Ignored by fixed-step schemes.
+	Tol float64
+}
+
+// Integrator advances the temperature state of an RC network. An
+// integrator may keep scratch buffers and controller state between
+// calls, so one instance must not be shared across networks that step
+// concurrently.
+type Integrator interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// MaxStep returns the largest single substep the scheme takes on the
+	// network described by v (its stability bound).
+	MaxStep(v View) float64
+	// Advance integrates temps (in place, °C) forward by dt seconds
+	// under the constant per-node power injection, substepping as
+	// needed. dt is non-negative and len(temps) == len(power) ==
+	// v.NumNodes(); the Network validates before delegating.
+	Advance(v View, temps []float64, dt float64, power []float64)
+}
+
+// NewIntegrator builds the integrator described by cfg.
+func NewIntegrator(cfg Config) Integrator {
+	switch cfg.Scheme {
+	case RK4:
+		return newRK4()
+	case RK4Adaptive:
+		return newAdaptiveRK4(cfg.Tol)
+	default:
+		return newEuler()
+	}
+}
+
+// View is a read-only sparse description of a Network: node count,
+// capacitances, adjacency and the cached stability data. It is the only
+// surface integrators see, so new schemes need no Network changes.
+type View struct {
+	n *Network
+}
+
+// NumNodes returns the node count.
+func (v View) NumNodes() int { return len(v.n.nodes) }
+
+// Capacitance returns the heat capacity of node i in J/K.
+func (v View) Capacitance(i int) float64 { return v.n.nodes[i].Capacitance }
+
+// AmbientG returns node i's direct conductance to ambient in W/K.
+func (v View) AmbientG(i int) float64 { return v.n.nodes[i].AmbientG }
+
+// Ambient returns the ambient temperature in °C.
+func (v View) Ambient() float64 { return v.n.ambient }
+
+// SumG returns the total conductance out of node i (edges + ambient).
+func (v View) SumG(i int) float64 { return v.n.sumG[i] }
+
+// Neighbors returns node i's adjacency list. The slice is shared with
+// the network and must not be modified.
+func (v View) Neighbors(i int) []Adj { return v.n.adj[i] }
+
+// EulerMaxStep returns the cached stable explicit-Euler step (half of
+// min C_i/ΣG_i). Stability bounds of other schemes scale from it.
+func (v View) EulerMaxStep() float64 { return v.n.maxStep }
+
+// Deriv evaluates dT/dt at the given temperatures and power injection,
+// writing the result into dst. All schemes share this evaluation so
+// their right-hand side is identical (and Euler's matches the seed
+// implementation operation for operation).
+func (v View) Deriv(temps, power, dst []float64) {
+	n := v.n
+	for i := range n.nodes {
+		q := power[i]
+		ti := temps[i]
+		for _, a := range n.adj[i] {
+			q += a.G * (temps[a.Node] - ti)
+		}
+		q += n.nodes[i].AmbientG * (n.ambient - ti)
+		dst[i] = q / n.nodes[i].Capacitance
+	}
+}

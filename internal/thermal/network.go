@@ -43,7 +43,7 @@ type Network struct {
 	nodes []Node
 	edges []edge
 	// adj[i] lists (neighbor, conductance) pairs for node i.
-	adj [][]adjEntry
+	adj [][]Adj
 
 	// temp is the current temperature of each node in °C.
 	temp []float64
@@ -56,13 +56,16 @@ type Network struct {
 	// maxStep caches the largest stable explicit-Euler step.
 	maxStep float64
 
-	// scratch buffer for integration.
-	dTdt []float64
+	// integ advances the state; explicit Euler unless SetIntegrator.
+	integ Integrator
 }
 
-type adjEntry struct {
-	other int
-	g     float64
+// Adj is one (neighbor, conductance) entry of a node's adjacency list.
+type Adj struct {
+	// Node is the neighbor's index.
+	Node int
+	// G is the conductance to that neighbor in W/K.
+	G float64
 }
 
 // Builder incrementally assembles a Network.
@@ -139,16 +142,16 @@ func (b *Builder) Build(ambientC float64) (*Network, error) {
 		ambient: ambientC,
 		temp:    make([]float64, len(b.nodes)),
 		sumG:    make([]float64, len(b.nodes)),
-		dTdt:    make([]float64, len(b.nodes)),
-		adj:     make([][]adjEntry, len(b.nodes)),
+		adj:     make([][]Adj, len(b.nodes)),
+		integ:   newEuler(),
 	}
 	for i := range n.temp {
 		n.temp[i] = ambientC
 		n.sumG[i] = n.nodes[i].AmbientG
 	}
 	for _, e := range n.edges {
-		n.adj[e.a] = append(n.adj[e.a], adjEntry{other: e.b, g: e.g})
-		n.adj[e.b] = append(n.adj[e.b], adjEntry{other: e.a, g: e.g})
+		n.adj[e.a] = append(n.adj[e.a], Adj{Node: e.b, G: e.g})
+		n.adj[e.b] = append(n.adj[e.b], Adj{Node: e.a, G: e.g})
 		n.sumG[e.a] += e.g
 		n.sumG[e.b] += e.g
 	}
@@ -202,14 +205,43 @@ func (n *Network) SetAllTemperatures(tC float64) {
 // Ambient returns the ambient temperature in °C.
 func (n *Network) Ambient() float64 { return n.ambient }
 
-// MaxStableStep returns the largest integration step Step will take
-// internally (it substeps longer intervals automatically).
+// MaxStableStep returns the largest explicit-Euler step that is stable
+// on this network (half the min C_i/ΣG_i bound). The default integrator
+// substeps at exactly this size; wider-stability schemes may exceed it.
 func (n *Network) MaxStableStep() float64 { return n.maxStep }
+
+// View returns a read-only sparse description of the network (nodes,
+// adjacency, capacitances) for integrators. The view stays valid for the
+// network's lifetime; the topology it describes never changes.
+func (n *Network) View() View { return View{n: n} }
+
+// SetIntegrator replaces the time-integration scheme. A nil argument is
+// ignored. Integrators carry scratch state and must not be shared
+// between networks stepped concurrently.
+func (n *Network) SetIntegrator(ig Integrator) {
+	if ig != nil {
+		n.integ = ig
+	}
+}
+
+// Integrator returns the active integration scheme.
+func (n *Network) Integrator() Integrator { return n.integ }
+
+// StepsPerInterval returns how many internal substeps the active
+// integrator takes to cover dt seconds (fixed-step schemes; for adaptive
+// schemes this is the count at their stability-bounded maximum step,
+// i.e. a lower bound).
+func (n *Network) StepsPerInterval(dt float64) int {
+	if dt <= 0 {
+		return 0
+	}
+	return int(math.Ceil(dt / n.integ.MaxStep(n.View())))
+}
 
 // Step advances the network by dt seconds with the given per-node power
 // injection (watts; len(power) must equal NumNodes, missing entries are
-// an error). It substeps internally to remain numerically stable, so dt
-// may be arbitrarily large.
+// an error). The integrator substeps internally to remain numerically
+// stable, so dt may be arbitrarily large.
 func (n *Network) Step(dt float64, power []float64) error {
 	if len(power) != len(n.nodes) {
 		return fmt.Errorf("thermal: power vector has %d entries, want %d", len(power), len(n.nodes))
@@ -217,31 +249,8 @@ func (n *Network) Step(dt float64, power []float64) error {
 	if dt < 0 {
 		return fmt.Errorf("thermal: negative step %g", dt)
 	}
-	for dt > 0 {
-		h := dt
-		if h > n.maxStep {
-			h = n.maxStep
-		}
-		n.eulerStep(h, power)
-		dt -= h
-	}
+	n.integ.Advance(n.View(), n.temp, dt, power)
 	return nil
-}
-
-// eulerStep performs one explicit-Euler step of size h (assumed stable).
-func (n *Network) eulerStep(h float64, power []float64) {
-	for i := range n.nodes {
-		q := power[i]
-		ti := n.temp[i]
-		for _, a := range n.adj[i] {
-			q += a.g * (n.temp[a.other] - ti)
-		}
-		q += n.nodes[i].AmbientG * (n.ambient - ti)
-		n.dTdt[i] = q / n.nodes[i].Capacitance
-	}
-	for i := range n.temp {
-		n.temp[i] += h * n.dTdt[i]
-	}
 }
 
 // SteadyState solves for the equilibrium temperatures under the given
@@ -262,8 +271,8 @@ func (n *Network) SteadyState(power []float64) ([]float64, error) {
 	for i := 0; i < nn; i++ {
 		diag := n.nodes[i].AmbientG
 		for _, adj := range n.adj[i] {
-			diag += adj.g
-			a[i][adj.other] -= adj.g
+			diag += adj.G
+			a[i][adj.Node] -= adj.G
 		}
 		a[i][i] += diag
 		a[i][nn] = power[i] + n.nodes[i].AmbientG*n.ambient

@@ -1,0 +1,141 @@
+package thermal
+
+import "math"
+
+// rk4StepScale is how much further RK4's stability region reaches along
+// the negative real axis than Euler's: |hλ| ≤ 2.785 versus 2. Scaling
+// the network's cached Euler bound by it keeps the same safety margin
+// while covering each sensor period in fewer substeps.
+const rk4StepScale = 2.785 / 2.0
+
+// rk4Integrator is the classical fourth-order Runge-Kutta scheme with a
+// fixed, stability-bounded step.
+type rk4Integrator struct {
+	k1, k2, k3, k4, tmp []float64
+}
+
+func newRK4() *rk4Integrator { return &rk4Integrator{} }
+
+func (r *rk4Integrator) Name() string { return RK4.String() }
+
+func (r *rk4Integrator) MaxStep(v View) float64 { return rk4StepScale * v.EulerMaxStep() }
+
+func (r *rk4Integrator) ensure(n int) {
+	r.k1 = growScratch(r.k1, n)
+	r.k2 = growScratch(r.k2, n)
+	r.k3 = growScratch(r.k3, n)
+	r.k4 = growScratch(r.k4, n)
+	r.tmp = growScratch(r.tmp, n)
+}
+
+// step performs one RK4 step of size h on temps in place.
+func (r *rk4Integrator) step(v View, temps []float64, h float64, power []float64) {
+	v.Deriv(temps, power, r.k1)
+	for i := range temps {
+		r.tmp[i] = temps[i] + 0.5*h*r.k1[i]
+	}
+	v.Deriv(r.tmp, power, r.k2)
+	for i := range temps {
+		r.tmp[i] = temps[i] + 0.5*h*r.k2[i]
+	}
+	v.Deriv(r.tmp, power, r.k3)
+	for i := range temps {
+		r.tmp[i] = temps[i] + h*r.k3[i]
+	}
+	v.Deriv(r.tmp, power, r.k4)
+	for i := range temps {
+		temps[i] += h / 6 * (r.k1[i] + 2*r.k2[i] + 2*r.k3[i] + r.k4[i])
+	}
+}
+
+func (r *rk4Integrator) Advance(v View, temps []float64, dt float64, power []float64) {
+	r.ensure(v.NumNodes())
+	max := r.MaxStep(v)
+	for dt > 0 {
+		h := dt
+		if h > max {
+			h = max
+		}
+		r.step(v, temps, h, power)
+		dt -= h
+	}
+}
+
+// DefaultAdaptiveTol is the per-substep error tolerance (°C) when
+// Config.Tol is unset.
+const DefaultAdaptiveTol = 1e-6
+
+// adaptiveRK4 wraps RK4 in a step-doubling controller: each candidate
+// step of size h is checked against two steps of h/2; the Richardson
+// estimate |T_h - T_{h/2}|/15 of the local error decides acceptance and
+// the next step size. The step never exceeds the RK4 stability bound, so
+// the controller spends its freedom shrinking steps during transients
+// and riding the bound at steady state.
+type adaptiveRK4 struct {
+	inner      rk4Integrator
+	tol        float64
+	h          float64 // carried between Advance calls
+	full, half []float64
+}
+
+func newAdaptiveRK4(tol float64) *adaptiveRK4 {
+	if tol <= 0 {
+		tol = DefaultAdaptiveTol
+	}
+	return &adaptiveRK4{tol: tol}
+}
+
+func (a *adaptiveRK4) Name() string { return RK4Adaptive.String() }
+
+func (a *adaptiveRK4) MaxStep(v View) float64 { return a.inner.MaxStep(v) }
+
+func (a *adaptiveRK4) Advance(v View, temps []float64, dt float64, power []float64) {
+	n := v.NumNodes()
+	a.inner.ensure(n)
+	a.full = growScratch(a.full, n)
+	a.half = growScratch(a.half, n)
+	cap := a.inner.MaxStep(v)
+	minStep := cap / 1024
+	if a.h <= 0 || a.h > cap {
+		a.h = cap
+	}
+	for dt > 0 {
+		h := a.h
+		// The final sliver of the interval is an artifact of the
+		// caller's dt, not of the dynamics: when accepted it must not
+		// feed the controller, or the carried step would collapse to
+		// the remainder (and then restart near minStep every call).
+		sliver := h > dt
+		if sliver {
+			h = dt
+		}
+		copy(a.full, temps)
+		a.inner.step(v, a.full, h, power)
+		copy(a.half, temps)
+		a.inner.step(v, a.half, h/2, power)
+		a.inner.step(v, a.half, h/2, power)
+		var err float64
+		for i := range a.full {
+			if d := math.Abs(a.full[i] - a.half[i]); d > err {
+				err = d
+			}
+		}
+		err /= 15 // Richardson estimate for a 4th-order pair
+		if err <= a.tol || h <= minStep {
+			// Accept the finer solution.
+			copy(temps, a.half)
+			dt -= h
+			if sliver {
+				continue
+			}
+		}
+		// Standard 5th-order controller update, clamped to keep the
+		// step inside [minStep, stability bound].
+		fac := 4.0
+		if err > 0 {
+			fac = 0.9 * math.Pow(a.tol/err, 0.2)
+			fac = math.Min(4, math.Max(0.2, fac))
+		}
+		a.h = math.Min(cap, math.Max(minStep, h*fac))
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"thermbal/internal/experiment"
 	"thermbal/internal/migrate"
 	"thermbal/internal/sim"
+	"thermbal/internal/thermal"
 )
 
 // PolicyKind selects the run-time management policy.
@@ -79,6 +80,35 @@ func (p PackageKind) sel() experiment.PackageSel {
 	return experiment.Mobile
 }
 
+// IntegratorKind selects the thermal integration scheme.
+type IntegratorKind int
+
+const (
+	// EulerIntegrator is explicit forward Euler (default; the stability
+	// bound forces the smallest substeps).
+	EulerIntegrator IntegratorKind = iota
+	// RK4Integrator is classical 4th-order Runge-Kutta: wider stability
+	// region, fewer substeps per sensor period, far higher accuracy.
+	RK4Integrator
+	// AdaptiveRK4Integrator is RK4 under a step-doubling error
+	// controller.
+	AdaptiveRK4Integrator
+)
+
+// String names the integrator.
+func (k IntegratorKind) String() string { return k.cfg().Scheme.String() }
+
+func (k IntegratorKind) cfg() thermal.Config {
+	switch k {
+	case RK4Integrator:
+		return thermal.Config{Scheme: thermal.RK4}
+	case AdaptiveRK4Integrator:
+		return thermal.Config{Scheme: thermal.RK4Adaptive}
+	default:
+		return thermal.Config{Scheme: thermal.Euler}
+	}
+}
+
 // Config describes one experiment on the 3-core streaming MPSoC running
 // the SDR benchmark.
 type Config struct {
@@ -100,6 +130,9 @@ type Config struct {
 	// Recreation selects the task-recreation migration mechanism
 	// instead of the default task-replication.
 	Recreation bool
+	// Integrator selects the thermal integration scheme (default
+	// EulerIntegrator, the paper-equivalent explicit scheme).
+	Integrator IntegratorKind
 }
 
 // Result is the outcome of a run over its measurement window.
@@ -121,6 +154,7 @@ func Run(cfg Config) (Result, error) {
 		MeasureS:  cfg.MeasureS,
 		QueueCap:  cfg.QueueCap,
 		Mechanism: mech,
+		Thermal:   cfg.Integrator.cfg(),
 	})
 	return res, err
 }
