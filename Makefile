@@ -1,10 +1,14 @@
 # Tier-1 verification is one command: `make` (or `make check`).
+# `make check` mirrors CI's gate steps (.github/workflows/ci.yml); CI
+# additionally records a bench-json artifact.
 
 GO ?= go
+BENCH_DATE := $(shell date -u +%F)
+BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet test bench bench-thermal clean
+.PHONY: check build vet fmt-check test race bench bench-smoke bench-thermal bench-json clean
 
-check: vet test
+check: fmt-check vet build race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -12,16 +16,42 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # Wall-clock comparison of the serial vs parallel experiment runner.
 bench:
 	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 3x .
 
+# One-iteration pass over every benchmark: catches bitrot, not perf.
+bench-smoke:
+	$(GO) test -bench . -run '^$$' -benchtime 1x ./...
+
 # Integrator stepping cost on the high-performance package.
 bench-thermal:
 	$(GO) test -bench BenchmarkStep -run '^$$' ./internal/thermal
 
+# Machine-readable ns/op for the Sweep and Step benchmarks, so the perf
+# trajectory is tracked commit over commit. Each bench run is a separate
+# recipe line so a failure aborts the target instead of being masked by
+# the pipeline's exit status.
+bench-json:
+	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 1x . > .bench.tmp
+	$(GO) test -bench BenchmarkStep -run '^$$' -benchtime 1x ./internal/thermal >> .bench.tmp
+	$(GO) run ./cmd/bench2json < .bench.tmp > $(BENCH_OUT)
+	@rm -f .bench.tmp
+	@echo "wrote $(BENCH_OUT)"
+
 clean:
+	@rm -f .bench.tmp
 	$(GO) clean ./...

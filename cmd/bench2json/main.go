@@ -1,0 +1,51 @@
+// Command bench2json converts `go test -bench` text output on stdin to
+// a JSON document on stdout, so benchmark trajectories can be tracked
+// in version control and CI artifacts (`make bench-json`).
+//
+// Usage:
+//
+//	go test -bench . -run '^$' . | bench2json > BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"thermbal/internal/benchparse"
+)
+
+// document is the emitted JSON shape.
+type document struct {
+	Date       string              `json:"date"`
+	GoVersion  string              `json:"go_version"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	Benchmarks []benchparse.Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2json: ")
+	results, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	doc := document{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -8,6 +8,8 @@
 //	figures              # everything (~10 s)
 //	figures -only fig7   # a single figure
 //	figures -only narrative
+//	figures -only matrix # scenario x policy cross product
+//	figures -scenario pipeline-d8 -only fig7
 //	figures -workers 8 -integrator rk4
 package main
 
@@ -19,25 +21,31 @@ import (
 	"os"
 	"os/signal"
 
+	"thermbal/internal/cliutil"
 	"thermbal/internal/experiment"
-	"thermbal/internal/thermal"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	only := flag.String("only", "", "table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|narrative|ablations|scale (empty = all)")
+	only := flag.String("only", "", "table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|narrative|ablations|scale|matrix (empty = all paper artifacts)")
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 	integrator := flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
+	scenarioFl := flag.String("scenario", "", "registered scenario for the sweep figures (default sdr-radio)")
 	flag.Parse()
 
-	scheme, err := thermal.ParseScheme(*integrator)
+	thermalCfg, err := cliutil.ParseIntegrator(*integrator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := cliutil.ResolveScenario(*scenarioFl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	opt := experiment.Options{
-		Runner:  experiment.Runner{Workers: *workers},
-		Thermal: thermal.Config{Scheme: scheme},
+		Runner:   experiment.Runner{Workers: *workers},
+		Thermal:  thermalCfg,
+		Scenario: sc.Name,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -123,6 +131,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiment.FormatScale(rows))
+	}
+
+	// The cross product over every registered scenario and policy is
+	// opt-in: it is far larger than the paper's evaluation. -scenario
+	// restricts it (comma list or 'all'), matching thermsim -matrix.
+	if *only == "matrix" {
+		var mcfg experiment.MatrixConfig
+		if *scenarioFl != "" {
+			mcfg.Scenarios, err = cliutil.ResolveScenarios(*scenarioFl)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		cells, err := experiment.MatrixWith(ctx, opt, mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiment.FormatMatrix(cells))
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command sweep runs the paper's threshold sweep (Figures 7-11) for one
-// or both thermal packages and prints the resulting series.
+// or both thermal packages and prints the resulting series. The swept
+// workload is any registered scenario (-scenario, default the paper's
+// SDR radio).
 //
 // Usage:
 //
-//	sweep                    # both packages, thresholds 2..5
-//	sweep -package mobile    # one package
-//	sweep -deltas 2,3,4,5,6  # custom thresholds
-//	sweep -workers 8         # spread the runs over 8 workers
-//	sweep -integrator rk4    # higher-order thermal integration
+//	sweep                        # both packages, thresholds 2..5
+//	sweep -package mobile        # one package
+//	sweep -deltas 2,3,4,5,6      # custom thresholds
+//	sweep -scenario pipeline-d8  # sweep a synthetic scenario
+//	sweep -workers 8             # spread the runs over 8 workers
+//	sweep -integrator rk4        # higher-order thermal integration
 package main
 
 import (
@@ -17,28 +20,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
+	"thermbal/internal/cliutil"
 	"thermbal/internal/experiment"
-	"thermbal/internal/thermal"
 )
-
-func parseDeltas(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad delta %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -46,22 +31,28 @@ func main() {
 	var (
 		pkgName    = flag.String("package", "both", "mobile | highperf | both")
 		deltaStr   = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
+		scenarioFl = flag.String("scenario", "", "registered scenario to sweep (default sdr-radio)")
 		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
 	)
 	flag.Parse()
 
-	deltas, err := parseDeltas(*deltaStr)
+	deltas, err := cliutil.ParseDeltas(*deltaStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	scheme, err := thermal.ParseScheme(*integrator)
+	thermalCfg, err := cliutil.ParseIntegrator(*integrator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := cliutil.ResolveScenario(*scenarioFl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	opt := experiment.Options{
-		Runner:  experiment.Runner{Workers: *workers},
-		Thermal: thermal.Config{Scheme: scheme},
+		Runner:   experiment.Runner{Workers: *workers},
+		Thermal:  thermalCfg,
+		Scenario: sc.Name,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -79,6 +70,9 @@ func main() {
 		log.Fatalf("unknown package %q", *pkgName)
 	}
 
+	if *scenarioFl != "" {
+		fmt.Printf("scenario: %s (%s)\n\n", sc.Name, sc.Topology)
+	}
 	var mob, hp []experiment.SweepPoint
 	if wantMobile {
 		mob, err = experiment.SweepWith(ctx, opt, experiment.Mobile, useDeltas)

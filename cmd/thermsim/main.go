@@ -1,14 +1,18 @@
-// Command thermsim runs one thermal-management experiment on the
-// emulated 3-core streaming MPSoC and prints a full report: the
-// reproduction's equivalent of one run on the paper's FPGA framework.
+// Command thermsim runs thermal-management experiments on the emulated
+// streaming MPSoC: one (scenario, policy) run with a full report, a
+// side-by-side policy comparison, or the whole scenario × policy matrix.
+// Scenarios and policies are resolved by name through the registries;
+// -list prints the catalogue.
 //
 // Usage:
 //
-//	thermsim -policy thermal-balance -delta 3 -package mobile
+//	thermsim -list                                   # discovery
+//	thermsim -scenario sdr-radio -policy thermal-balance -delta 3
+//	thermsim -scenario pipeline-d8 -policy all       # compare every policy
+//	thermsim -matrix                                 # full cross product
+//	thermsim -matrix -scenario sdr-radio,fanout-w4 -policy eb,tb
 //	thermsim -policy stop-go -delta 2 -package highperf -measure 30
-//	thermsim -policy thermal-balance -delta 3 -trace run.csv -events ev.csv
-//	thermsim -policy all -delta 3 -workers 3    # compare all policies in parallel
-//	thermsim -policy thermal-balance -integrator rk4
+//	thermsim -policy thermal-balance -trace run.csv -events ev.csv
 package main
 
 import (
@@ -19,9 +23,9 @@ import (
 	"os"
 	"os/signal"
 
+	"thermbal/internal/cliutil"
 	"thermbal/internal/experiment"
 	"thermbal/internal/migrate"
-	"thermbal/internal/thermal"
 )
 
 func main() {
@@ -29,58 +33,88 @@ func main() {
 	log.SetPrefix("thermsim: ")
 
 	var (
-		policyName = flag.String("policy", "thermal-balance", "policy: energy-balance | stop-go | thermal-balance | all")
-		delta      = flag.Float64("delta", 3, "threshold distance from mean temperature (°C)")
+		list       = flag.Bool("list", false, "list registered scenarios and policies, then exit")
+		matrix     = flag.Bool("matrix", false, "run the scenario x policy cross product")
+		scenarioFl = flag.String("scenario", "", "scenario name (default sdr-radio; comma list or 'all' with -matrix)")
+		policyName = flag.String("policy", "", "policy name or alias, 'all' to compare every registered policy (default: the scenario's)")
+		delta      = flag.Float64("delta", 0, "threshold distance from mean temperature in °C (default: the scenario's)")
 		pkgName    = flag.String("package", "mobile", "thermal package: mobile | highperf")
-		warmup     = flag.Float64("warmup", experiment.DefaultWarmupS, "warm-up before the policy engages (s)")
-		measure    = flag.Float64("measure", experiment.DefaultMeasureS, "measurement window (s)")
+		warmup     = flag.Float64("warmup", 0, "warm-up before the policy engages (s; default: the scenario's)")
+		measure    = flag.Float64("measure", 0, "measurement window (s; default: the scenario's)")
 		queueCap   = flag.Int("queue", 0, "inter-task queue capacity in frames (default 11)")
 		recreate   = flag.Bool("recreation", false, "use task-recreation instead of task-replication")
 		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
-		workers    = flag.Int("workers", 0, "worker pool size for -policy all (default GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "worker pool size for -policy all / -matrix (default GOMAXPROCS)")
 		traceOut   = flag.String("trace", "", "write the temperature/frequency timeline CSV to this file")
 		eventsOut  = flag.String("events", "", "write the event log CSV to this file")
 	)
 	flag.Parse()
 
-	scheme, err := thermal.ParseScheme(*integrator)
+	if *list {
+		fmt.Print(cliutil.ListText())
+		return
+	}
+
+	thermalCfg, err := cliutil.ParseIntegrator(*integrator)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pkg, err := cliutil.ParsePackage(*pkgName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := experiment.Options{
+		Runner:  experiment.Runner{Workers: *workers},
+		Thermal: thermalCfg,
+	}
+
+	if *matrix {
+		if *traceOut != "" || *eventsOut != "" {
+			log.Fatal("-trace/-events require a single run, not -matrix")
+		}
+		mech := migrate.Replication
+		if *recreate {
+			mech = migrate.Recreation
+		}
+		runMatrix(opt, *scenarioFl, *policyName, *delta, pkg, *warmup, *measure, *queueCap, mech)
+		return
+	}
+
+	sc, err := cliutil.ResolveScenario(*scenarioFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *delta == 0 {
+		*delta = sc.DefaultDelta
+	}
 	rc := experiment.RunConfig{
+		Scenario: sc.Name,
 		Delta:    *delta,
+		Package:  pkg,
 		WarmupS:  *warmup,
 		MeasureS: *measure,
 		QueueCap: *queueCap,
 		Trace:    *traceOut != "" || *eventsOut != "",
-		Thermal:  thermal.Config{Scheme: scheme},
-	}
-	switch *pkgName {
-	case "mobile", "embedded":
-		rc.Package = experiment.Mobile
-	case "highperf", "high-performance", "hp":
-		rc.Package = experiment.HighPerf
-	default:
-		log.Fatalf("unknown package %q", *pkgName)
+		Thermal:  thermalCfg,
 	}
 	if *recreate {
 		rc.Mechanism = migrate.Recreation
 	}
-	switch *policyName {
-	case "energy-balance", "eb":
-		rc.Policy = experiment.EnergyBalance
-	case "stop-go", "stopgo", "stop&go", "sg":
-		rc.Policy = experiment.StopGo
-	case "thermal-balance", "tb", "migra":
-		rc.Policy = experiment.ThermalBalance
-	case "all":
+
+	polSpec := *policyName
+	if polSpec == "" {
+		polSpec = sc.DefaultPolicy
+	}
+	if polSpec == "all" {
 		if rc.Trace {
 			log.Fatal("-trace/-events require a single policy")
 		}
-		comparePolicies(rc, *workers)
+		comparePolicies(rc, opt)
 		return
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
+	}
+	rc.PolicyName, err = cliutil.ResolvePolicy(polSpec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	res, eng, err := experiment.Run(rc)
@@ -88,10 +122,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fmt.Printf("scenario         %s (%s)\n", sc.Name, sc.Topology)
 	fmt.Printf("policy           %s\n", res.PolicyName)
 	fmt.Printf("package          %s\n", rc.Package)
 	fmt.Printf("threshold        ±%.1f °C around the mean\n", rc.Delta)
-	fmt.Printf("window           %.1f s (after %.1f s warm-up)\n", res.MeasuredS, rc.WarmupS)
+	fmt.Printf("window           %.1f s\n", res.MeasuredS)
 	fmt.Println()
 	fmt.Printf("temperature std  %.3f °C pooled (spatial %.3f, temporal %.3f)\n",
 		res.PooledStdDev, res.SpatialStdDev, res.MeanTemporalStdDev)
@@ -141,25 +176,27 @@ func main() {
 	}
 }
 
-// comparePolicies runs all three policies under the same configuration
-// across the worker pool and prints a side-by-side summary.
-func comparePolicies(rc experiment.RunConfig, workers int) {
+// comparePolicies runs every registered policy under the same scenario
+// and configuration across the worker pool and prints a side-by-side
+// summary.
+func comparePolicies(rc experiment.RunConfig, opt experiment.Options) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	policies := []experiment.PolicySel{
-		experiment.EnergyBalance, experiment.StopGo, experiment.ThermalBalance,
+	policies, err := cliutil.ResolvePolicies("all")
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfgs := make([]experiment.RunConfig, len(policies))
 	for i, pol := range policies {
 		cfgs[i] = rc
-		cfgs[i].Policy = pol
+		cfgs[i].PolicyName = pol
 	}
-	results, err := experiment.RunAll(ctx, experiment.Runner{Workers: workers}, cfgs)
+	results, err := experiment.RunAll(ctx, opt.Runner, cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("package %s, threshold ±%.1f °C, %.1f s window, integrator %s\n\n",
-		rc.Package, rc.Delta, rc.MeasureS, rc.Thermal.Scheme)
+	fmt.Printf("scenario %s, package %s, threshold ±%.1f °C, integrator %s\n\n",
+		rc.Scenario, rc.Package, rc.Delta, opt.Thermal.Scheme)
 	fmt.Println("policy           std[°C]  spatial  misses  rate%   migr  mig/s  energy[J]")
 	for i, pol := range policies {
 		r := results[i]
@@ -167,4 +204,34 @@ func comparePolicies(rc experiment.RunConfig, workers int) {
 			pol, r.PooledStdDev, r.SpatialStdDev, r.DeadlineMisses, r.MissRatePct,
 			r.Migrations, r.MigrationsPerSec, r.TotalEnergyJ)
 	}
+}
+
+// runMatrix executes the scenario x policy cross product.
+func runMatrix(opt experiment.Options, scSpec, polSpec string, delta float64, pkg experiment.PackageSel, warmup, measure float64, queueCap int, mech migrate.Mechanism) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	mc := experiment.MatrixConfig{
+		Delta:     delta,
+		Package:   pkg,
+		WarmupS:   warmup,
+		MeasureS:  measure,
+		QueueCap:  queueCap,
+		Mechanism: mech,
+	}
+	var err error
+	if scSpec != "" {
+		if mc.Scenarios, err = cliutil.ResolveScenarios(scSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if polSpec != "" {
+		if mc.Policies, err = cliutil.ResolvePolicies(polSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cells, err := experiment.MatrixWith(ctx, opt, mc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiment.FormatMatrix(cells))
 }

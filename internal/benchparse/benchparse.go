@@ -1,0 +1,73 @@
+// Package benchparse converts the standard `go test -bench` text output
+// into machine-readable records, so benchmark results can be written as
+// JSON and tracked across commits (cmd/bench2json, `make bench-json`).
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including the -cpu suffix
+	// ("BenchmarkStep/euler-8").
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra holds any additional unit pairs (B/op, allocs/op, custom
+	// b.ReportMetric units), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines
+// in order. Non-benchmark lines (package headers, PASS, ok) are
+// ignored. A benchmark line has the shape:
+//
+//	BenchmarkName-8   	     100	  11222333 ns/op	  456 B/op	 7 allocs/op
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[unit] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

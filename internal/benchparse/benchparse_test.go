@@ -1,0 +1,52 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: thermbal
+cpu: AMD EPYC
+BenchmarkSweepSerial-8   	       3	 312456789 ns/op
+BenchmarkSweepParallel-8 	       3	  98765432 ns/op	     128 B/op	       2 allocs/op
+BenchmarkStep/euler-8    	     100	     11222 ns/op	     3.5 substeps
+PASS
+ok  	thermbal	1.234s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkSweepSerial-8" || got[0].Iterations != 3 || got[0].NsPerOp != 312456789 {
+		t.Errorf("first result wrong: %+v", got[0])
+	}
+	if got[1].Extra["B/op"] != 128 || got[1].Extra["allocs/op"] != 2 {
+		t.Errorf("extra units not parsed: %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkStep/euler-8" || got[2].Extra["substeps"] != 3.5 {
+		t.Errorf("sub-benchmark wrong: %+v", got[2])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	got, err := Parse(strings.NewReader("BenchmarkFoo has no numbers\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("noise parsed as results: %+v", got)
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 10 abc ns/op\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}

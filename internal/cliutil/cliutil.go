@@ -1,0 +1,144 @@
+// Package cliutil is the shared flag-parsing layer of the three CLIs
+// (thermsim, sweep, figures): scenario and policy resolution against
+// the registries, package and delta parsing, and the -list discovery
+// output. Keeping it in one place means every binary accepts the same
+// spellings and prints the same catalogue — and the parsing is testable
+// without driving main().
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	_ "thermbal/internal/core" // register the thermal-balance policy
+	"thermbal/internal/experiment"
+	"thermbal/internal/policy"
+	"thermbal/internal/scenario"
+	"thermbal/internal/thermal"
+)
+
+// ResolveScenario resolves a -scenario flag value to a registered
+// scenario. An empty value selects the paper's SDR benchmark.
+func ResolveScenario(name string) (scenario.Scenario, error) {
+	if name == "" {
+		name = scenario.DefaultName
+	}
+	return scenario.Lookup(name)
+}
+
+// ResolvePolicy resolves a -policy flag value (canonical name or alias)
+// to the canonical registered name.
+func ResolvePolicy(name string) (string, error) {
+	canon, ok := policy.Canonical(name)
+	if !ok {
+		return "", fmt.Errorf("unknown policy %q (registered: %s)", name, strings.Join(policy.Names(), ", "))
+	}
+	return canon, nil
+}
+
+// ResolvePolicies expands a -policy flag value into canonical names:
+// "all" selects every registered policy, otherwise a comma-separated
+// list of names or aliases is resolved (duplicates collapse).
+func ResolvePolicies(spec string) ([]string, error) {
+	if spec == "all" {
+		return policy.Names(), nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		canon, err := ResolvePolicy(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if !seen[canon] {
+			seen[canon] = true
+			out = append(out, canon)
+		}
+	}
+	return out, nil
+}
+
+// ResolveScenarios expands a -scenario flag value: "all" selects every
+// registered scenario, otherwise a comma-separated list of names.
+func ResolveScenarios(spec string) ([]string, error) {
+	if spec == "all" {
+		return scenario.Names(), nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		sc, err := ResolveScenario(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if !seen[sc.Name] {
+			seen[sc.Name] = true
+			out = append(out, sc.Name)
+		}
+	}
+	return out, nil
+}
+
+// ParsePackage resolves a -package flag value.
+func ParsePackage(name string) (experiment.PackageSel, error) {
+	switch name {
+	case "mobile", "embedded", "mobile-embedded":
+		return experiment.Mobile, nil
+	case "highperf", "high-performance", "hp":
+		return experiment.HighPerf, nil
+	default:
+		return experiment.Mobile, fmt.Errorf("unknown package %q (mobile | highperf)", name)
+	}
+}
+
+// ParseIntegrator resolves a -integrator flag value.
+func ParseIntegrator(name string) (thermal.Config, error) {
+	scheme, err := thermal.ParseScheme(name)
+	if err != nil {
+		return thermal.Config{}, err
+	}
+	return thermal.Config{Scheme: scheme}, nil
+}
+
+// ParseDeltas parses a comma-separated -deltas flag value; empty input
+// returns nil (caller applies its default sweep).
+func ParseDeltas(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad delta %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ListText renders the -list discovery output: the scenario catalogue
+// and the policy registry.
+func ListText() string {
+	var b strings.Builder
+	b.WriteString("Registered scenarios:\n")
+	fmt.Fprintf(&b, "  %-14s %-6s %-6s %-38s %s\n", "name", "cores", "tasks", "topology", "description")
+	for _, s := range scenario.All() {
+		fmt.Fprintf(&b, "  %-14s %-6d %-6d %-38s %s\n", s.Name, s.Cores, s.Tasks, s.Topology, s.Description)
+	}
+	b.WriteString("\nRegistered policies:\n")
+	entries := policy.Entries()
+	for _, e := range entries {
+		alias := ""
+		if len(e.Aliases) > 0 {
+			a := append([]string(nil), e.Aliases...)
+			sort.Strings(a)
+			alias = " (aliases: " + strings.Join(a, ", ") + ")"
+		}
+		fmt.Fprintf(&b, "  %-16s %s%s\n", e.Name, e.Description, alias)
+	}
+	return b.String()
+}

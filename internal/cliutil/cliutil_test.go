@@ -1,0 +1,116 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"thermbal/internal/experiment"
+)
+
+// TestResolvePolicyAllCLISpellings covers every policy spelling the
+// three CLIs historically accepted, now resolved through the registry.
+func TestResolvePolicyAllCLISpellings(t *testing.T) {
+	for spelling, want := range map[string]string{
+		"energy-balance":  "energy-balance",
+		"eb":              "energy-balance",
+		"stop-go":         "stop-go",
+		"stopgo":          "stop-go",
+		"stop&go":         "stop-go",
+		"sg":              "stop-go",
+		"thermal-balance": "thermal-balance",
+		"tb":              "thermal-balance",
+		"migra":           "thermal-balance",
+		"none":            "none",
+	} {
+		got, err := ResolvePolicy(spelling)
+		if err != nil {
+			t.Fatalf("ResolvePolicy(%q): %v", spelling, err)
+		}
+		if got != want {
+			t.Errorf("ResolvePolicy(%q) = %q, want %q", spelling, got, want)
+		}
+	}
+	if _, err := ResolvePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestResolvePolicies(t *testing.T) {
+	all, err := ResolvePolicies("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Fatalf("'all' expanded to %v, want >= 3 policies", all)
+	}
+	list, err := ResolvePolicies("tb, eb, thermal-balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0] != "thermal-balance" || list[1] != "energy-balance" {
+		t.Errorf("ResolvePolicies dedup/order wrong: %v", list)
+	}
+}
+
+func TestResolveScenario(t *testing.T) {
+	sc, err := ResolveScenario("")
+	if err != nil || sc.Name != "sdr-radio" {
+		t.Fatalf("empty scenario resolved to %q, err %v; want sdr-radio", sc.Name, err)
+	}
+	if _, err := ResolveScenario("pipeline-d8"); err != nil {
+		t.Errorf("pipeline-d8: %v", err)
+	}
+	if _, err := ResolveScenario("bogus"); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+	names, err := ResolveScenarios("all")
+	if err != nil || len(names) < 6 {
+		t.Fatalf("ResolveScenarios(all) = %v, %v; want >= 6 names", names, err)
+	}
+}
+
+func TestParsePackage(t *testing.T) {
+	for spelling, want := range map[string]experiment.PackageSel{
+		"mobile":           experiment.Mobile,
+		"embedded":         experiment.Mobile,
+		"highperf":         experiment.HighPerf,
+		"high-performance": experiment.HighPerf,
+		"hp":               experiment.HighPerf,
+	} {
+		got, err := ParsePackage(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParsePackage(%q) = %v, %v; want %v", spelling, got, err, want)
+		}
+	}
+	if _, err := ParsePackage("bogus"); err == nil {
+		t.Fatal("bogus package accepted")
+	}
+}
+
+func TestParseDeltas(t *testing.T) {
+	ds, err := ParseDeltas("2, 3.5,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || ds[0] != 2 || ds[1] != 3.5 || ds[2] != 4 {
+		t.Errorf("ParseDeltas = %v", ds)
+	}
+	if ds, err := ParseDeltas(""); err != nil || ds != nil {
+		t.Errorf("ParseDeltas(\"\") = %v, %v", ds, err)
+	}
+	if _, err := ParseDeltas("2,x"); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+}
+
+func TestListText(t *testing.T) {
+	out := ListText()
+	for _, want := range []string{
+		"sdr-radio", "video-decoder", "pipeline-d8", "fanout-w4",
+		"bursty-sdr", "manycore-32", "thermal-balance", "stop-go", "energy-balance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ListText missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+
+	"thermbal/internal/policy"
+)
+
+// The balancer registers itself with the policy registry so CLIs and
+// experiments construct it by name; it cannot be registered from the
+// policy package itself without an import cycle.
+func init() {
+	policy.Register(policy.Entry{
+		Name:        "thermal-balance",
+		Description: "the paper's migration-based thermal balancing (MiGra-style)",
+		Aliases:     []string{"tb", "migra"},
+	}, func(a policy.Args) (policy.Policy, error) {
+		if a.Delta <= 0 {
+			return nil, fmt.Errorf("core: thermal-balance requires a positive delta, got %g", a.Delta)
+		}
+		return New(Params{
+			Delta:       a.Delta,
+			MinInterval: a.MinInterval,
+			TopK:        a.TopK,
+			MaxFreezeS:  a.MaxFreezeS,
+		}), nil
+	})
+}

@@ -13,9 +13,9 @@ import (
 	"thermbal/internal/core"
 	"thermbal/internal/dvfs"
 	"thermbal/internal/migrate"
-	"thermbal/internal/mpsoc"
 	"thermbal/internal/policy"
 	"thermbal/internal/power"
+	"thermbal/internal/scenario"
 	"thermbal/internal/sim"
 	"thermbal/internal/stream"
 	"thermbal/internal/task"
@@ -90,14 +90,22 @@ type RunConfig struct {
 	Policy    PolicySel
 	Delta     float64 // threshold for StopGo/ThermalBalance
 	Package   PackageSel
-	WarmupS   float64 // default DefaultWarmupS
-	MeasureS  float64 // default DefaultMeasureS
+	WarmupS   float64 // default DefaultWarmupS (or the scenario's)
+	MeasureS  float64 // default DefaultMeasureS (or the scenario's)
 	Mechanism migrate.Mechanism
 	QueueCap  int // default stream.DefaultQueueCap
 	Trace     bool
 	// Thermal selects the RC-network integration scheme (zero value =
 	// explicit Euler).
 	Thermal thermal.Config
+
+	// Scenario names a registered scenario; empty selects "sdr-radio",
+	// the paper's benchmark (preserving pre-registry behavior).
+	Scenario string
+	// PolicyName, when non-empty, constructs the policy by name through
+	// the policy registry and takes precedence over Policy. It accepts
+	// any registered name or alias ("stop-go", "tb", ...).
+	PolicyName string
 
 	// Balancer knobs (ThermalBalance only; zero = policy defaults).
 	// Used by the ablation studies.
@@ -118,19 +126,29 @@ func (rc *RunConfig) fill() {
 	}
 }
 
-func (rc RunConfig) policy() policy.Policy {
+func (rc RunConfig) buildPolicy() (policy.Policy, error) {
+	if rc.PolicyName != "" {
+		return policy.New(rc.PolicyName, policy.Args{
+			Delta:       rc.Delta,
+			MinInterval: rc.MinInterval,
+			TopK:        rc.TopK,
+			MaxFreezeS:  rc.MaxFreezeS,
+		})
+	}
+	// The PolicySel path predates the registry and constructs directly;
+	// its semantics (StopGo accepts any delta) are kept bit-for-bit.
 	switch rc.Policy {
 	case StopGo:
-		return policy.NewStopGo(rc.Delta)
+		return policy.NewStopGo(rc.Delta), nil
 	case ThermalBalance:
 		return core.New(core.Params{
 			Delta:       rc.Delta,
 			MinInterval: rc.MinInterval,
 			TopK:        rc.TopK,
 			MaxFreezeS:  rc.MaxFreezeS,
-		})
+		}), nil
 	default:
-		return policy.EnergyBalance{}
+		return policy.EnergyBalance{}, nil
 	}
 }
 
@@ -140,12 +158,31 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 	if rc.Delta < 0 {
 		return sim.Result{}, nil, fmt.Errorf("experiment: negative threshold delta %g", rc.Delta)
 	}
-	rc.fill()
-	g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: rc.QueueCap})
+	scName := rc.Scenario
+	if scName == "" {
+		scName = scenario.DefaultName
+	}
+	sc, err := scenario.Lookup(scName)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	plat, err := mpsoc.New(mpsoc.Config{Package: rc.Package.Package()})
+	// Scenario-specific default phases (many-core scenarios use shorter
+	// windows); the paper defaults apply where the scenario sets none.
+	if rc.WarmupS <= 0 && sc.WarmupS > 0 {
+		rc.WarmupS = sc.WarmupS
+	}
+	if rc.MeasureS <= 0 && sc.MeasureS > 0 {
+		rc.MeasureS = sc.MeasureS
+	}
+	rc.fill()
+	inst, err := sc.Instantiate(scenario.Options{
+		QueueCap: rc.QueueCap,
+		Package:  rc.Package.Package(),
+	})
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	pol, err := rc.buildPolicy()
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
@@ -155,7 +192,8 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 		Mechanism:     rc.Mechanism,
 		RecordTrace:   rc.Trace,
 		Thermal:       rc.Thermal,
-	}, plat, g, rc.policy())
+		Modulate:      inst.Modulate,
+	}, inst.Platform, inst.Graph, pol)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
@@ -398,10 +436,10 @@ func SweepWith(ctx context.Context, opt Options, pkg PackageSel, deltas []float6
 	}
 	policies := []PolicySel{StopGo, ThermalBalance}
 	cfgs := make([]RunConfig, 0, 1+len(policies)*len(deltas))
-	cfgs = append(cfgs, RunConfig{Policy: EnergyBalance, Package: pkg, Thermal: opt.Thermal})
+	cfgs = append(cfgs, RunConfig{Policy: EnergyBalance, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario})
 	for _, pol := range policies {
 		for _, d := range deltas {
-			cfgs = append(cfgs, RunConfig{Policy: pol, Delta: d, Package: pkg, Thermal: opt.Thermal})
+			cfgs = append(cfgs, RunConfig{Policy: pol, Delta: d, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario})
 		}
 	}
 	results, err := RunAll(ctx, opt.Runner, cfgs)

@@ -110,10 +110,17 @@ func RunAll(ctx context.Context, r Runner, cfgs []RunConfig) ([]sim.Result, erro
 }
 
 // Options bundles the knobs shared by the multi-run experiment helpers:
-// the worker pool and the thermal integrator applied to every run.
+// the worker pool, the thermal integrator and the scenario applied to
+// every run.
 type Options struct {
 	Runner
 	// Thermal selects the integration scheme for each run's RC network
 	// (zero value = explicit Euler).
 	Thermal thermal.Config
+	// Scenario names the registered scenario the sweep-style helpers
+	// (SweepWith and the comparison runs built on RunAll) simulate;
+	// empty = "sdr-radio", the paper's benchmark. Paper-specific
+	// artifacts — Table2, Fig2, the ablations and the scale study —
+	// are defined on their own workloads and ignore this field.
+	Scenario string
 }

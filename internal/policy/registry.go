@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The policy registry maps names to constructors so policies are built
+// from one place instead of string switches duplicated across the CLIs.
+// Baseline policies register themselves below; the paper's thermal
+// balancer registers from internal/core (it cannot live here without an
+// import cycle), and external code — experiments, examples, future
+// policies — may register its own implementations the same way.
+
+// Args carries the tunables a policy constructor may consume. Policies
+// ignore fields that do not apply to them (the energy-balance baseline
+// takes no run-time parameters at all).
+type Args struct {
+	// Delta is the threshold distance from the mean temperature (°C).
+	Delta float64
+	// MinInterval is the minimum time between issued migrations (s).
+	// Zero selects the policy's default.
+	MinInterval float64
+	// TopK bounds the per-core task subset a balancer considers.
+	// Zero selects the policy's default.
+	TopK int
+	// MaxFreezeS is the QoS freeze budget for migrations (s).
+	// Zero selects the policy's default.
+	MaxFreezeS float64
+}
+
+// Factory constructs a fresh policy instance. Stateful policies must
+// return a new value on every call so concurrent runs never share
+// trigger state.
+type Factory func(Args) (Policy, error)
+
+// Entry describes one registered policy for discovery listings.
+type Entry struct {
+	// Name is the canonical registered name.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Aliases are accepted alternative spellings.
+	Aliases []string
+}
+
+var reg = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	entries   map[string]Entry
+	aliases   map[string]string // alias -> canonical
+}{
+	factories: map[string]Factory{},
+	entries:   map[string]Entry{},
+	aliases:   map[string]string{},
+}
+
+// Register adds a named policy constructor. It panics on an empty name
+// or a duplicate registration (both are programming errors caught at
+// init time), matching the behavior of database/sql-style registries.
+func Register(e Entry, f Factory) {
+	if e.Name == "" {
+		panic("policy: Register with empty name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("policy: Register %q with nil factory", e.Name))
+	}
+	reg.Lock()
+	defer reg.Unlock()
+	if _, dup := reg.factories[e.Name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", e.Name))
+	}
+	if canon, taken := reg.aliases[e.Name]; taken {
+		panic(fmt.Sprintf("policy: name %q already aliased to %q", e.Name, canon))
+	}
+	for _, a := range e.Aliases {
+		if _, dup := reg.factories[a]; dup {
+			panic(fmt.Sprintf("policy: alias %q of %q collides with a registered name", a, e.Name))
+		}
+		if canon, dup := reg.aliases[a]; dup {
+			panic(fmt.Sprintf("policy: alias %q of %q already aliased to %q", a, e.Name, canon))
+		}
+	}
+	reg.factories[e.Name] = f
+	reg.entries[e.Name] = e
+	for _, a := range e.Aliases {
+		reg.aliases[a] = e.Name
+	}
+}
+
+// Canonical resolves a name or alias to the canonical registered name.
+func Canonical(name string) (string, bool) {
+	reg.RLock()
+	defer reg.RUnlock()
+	if _, ok := reg.factories[name]; ok {
+		return name, true
+	}
+	if canon, ok := reg.aliases[name]; ok {
+		return canon, true
+	}
+	return "", false
+}
+
+// Lookup returns the factory for a registered name or alias.
+func Lookup(name string) (Factory, bool) {
+	canon, ok := Canonical(name)
+	if !ok {
+		return nil, false
+	}
+	reg.RLock()
+	defer reg.RUnlock()
+	return reg.factories[canon], true
+}
+
+// New constructs a policy by name (canonical or alias). Unknown names
+// report the registered alternatives.
+func New(name string, a Args) (Policy, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, Names())
+	}
+	return f(a)
+}
+
+// Names returns the canonical registered names, sorted.
+func Names() []string {
+	reg.RLock()
+	defer reg.RUnlock()
+	out := make([]string, 0, len(reg.factories))
+	for n := range reg.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns the registered entries sorted by name.
+func Entries() []Entry {
+	reg.RLock()
+	defer reg.RUnlock()
+	out := make([]Entry, 0, len(reg.entries))
+	for _, e := range reg.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	Register(Entry{
+		Name:        "none",
+		Description: "do nothing: pure DVFS on the static mapping",
+	}, func(Args) (Policy, error) { return None{}, nil })
+	Register(Entry{
+		Name:        "energy-balance",
+		Description: "static energy-balanced mapping + DVFS, no run-time actions",
+		Aliases:     []string{"eb"},
+	}, func(Args) (Policy, error) { return EnergyBalance{}, nil })
+	Register(Entry{
+		Name:        "stop-go",
+		Description: "gate a core at mean+delta, restart at the stop-time mean-delta",
+		Aliases:     []string{"stopgo", "stop&go", "sg"},
+	}, func(a Args) (Policy, error) {
+		if a.Delta <= 0 {
+			return nil, fmt.Errorf("policy: stop-go requires a positive delta, got %g", a.Delta)
+		}
+		return NewStopGo(a.Delta), nil
+	})
+}

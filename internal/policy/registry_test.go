@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBaselines(t *testing.T) {
+	for name, want := range map[string]string{
+		"none":           "none",
+		"energy-balance": "energy-balance",
+		"eb":             "energy-balance",
+		"stop-go":        "stop&go",
+		"stopgo":         "stop&go",
+		"stop&go":        "stop&go",
+		"sg":             "stop&go",
+	} {
+		p, err := New(name, Args{Delta: 3})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	_, err := New("no-such-policy", Args{})
+	if err == nil {
+		t.Fatal("New(no-such-policy) succeeded")
+	}
+	if !strings.Contains(err.Error(), "energy-balance") {
+		t.Errorf("error %q does not list registered policies", err)
+	}
+}
+
+func TestRegistryStopGoValidation(t *testing.T) {
+	if _, err := New("stop-go", Args{}); err == nil {
+		t.Fatal("stop-go with zero delta succeeded")
+	}
+}
+
+func TestRegistryFreshInstances(t *testing.T) {
+	a, err := New("stop-go", Args{Delta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("stop-go", Args{Delta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*StopGo) == b.(*StopGo) {
+		t.Fatal("factory returned a shared StopGo instance")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Entry{Name: "none"}, func(Args) (Policy, error) { return None{}, nil })
+}
+
+func TestCanonical(t *testing.T) {
+	if c, ok := Canonical("eb"); !ok || c != "energy-balance" {
+		t.Fatalf("Canonical(eb) = %q, %v", c, ok)
+	}
+	if _, ok := Canonical("bogus"); ok {
+		t.Fatal("Canonical(bogus) resolved")
+	}
+}

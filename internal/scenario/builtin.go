@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"fmt"
+
+	"thermbal/internal/floorplan"
+	"thermbal/internal/mpsoc"
+	"thermbal/internal/policy"
+	"thermbal/internal/sim"
+	"thermbal/internal/stream"
+	"thermbal/internal/task"
+)
+
+// graphBuilder produces the stream graph (and optional load modulator)
+// of one scenario.
+type graphBuilder func(o Options) (*stream.Graph, sim.Modulator, error)
+
+// registerBuiltin wires a graph builder into a full scenario: platform
+// assembly from the tiled floorplan, optional energy-balanced placement
+// for graphs the paper gives no hand mapping for, and a task count for
+// the catalogue.
+func registerBuiltin(s Scenario, gb graphBuilder, balance bool) {
+	cores := s.Cores
+	s.Build = func(o Options) (*Instance, error) {
+		g, mod, err := gb(o)
+		if err != nil {
+			return nil, err
+		}
+		if balance {
+			policy.BalanceMapping(g.Tasks(), cores)
+		}
+		var fp *floorplan.Floorplan
+		if cores != 3 {
+			// 3-core scenarios keep the nil default (the paper's
+			// Figure 5 die); larger platforms tile the same geometry.
+			fp = floorplan.StreamingMPSoC(cores)
+		}
+		plat, err := mpsoc.New(mpsoc.Config{Floorplan: fp, Package: o.pkg()})
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Graph: g, Platform: plat, Modulate: mod}, nil
+	}
+	g, _, err := gb(Options{})
+	if err != nil {
+		// A builtin that cannot build under default options is a
+		// programming error; failing at init beats a tasks-0 catalogue
+		// entry that only errors at run time.
+		panic(fmt.Sprintf("scenario: builtin %q does not build: %v", s.Name, err))
+	}
+	s.Tasks = g.NumTasks()
+	Register(s)
+}
+
+// Bursty modulation constants: every burstPeriodS the hot and cold task
+// groups swap, scaling their base loads by burstHi / burstLo. The mean
+// load stays near the baseline while its spatial distribution shifts —
+// the phase changes the paper's static mapping cannot follow.
+const (
+	burstPeriodS = 4.0
+	burstHi      = 1.35
+	burstLo      = 0.65
+)
+
+// phaseShiftModulator alternates the loads of even- and odd-indexed
+// tasks around their construction-time baselines.
+func phaseShiftModulator(g *stream.Graph) sim.Modulator {
+	base := make([]float64, g.NumTasks())
+	for i, t := range g.Tasks() {
+		base[i] = t.FSE
+	}
+	last := -1
+	return func(now float64, tasks []*task.Task) bool {
+		phase := int(now/burstPeriodS) % 2
+		if phase == last {
+			return false
+		}
+		last = phase
+		for i, t := range tasks {
+			f := burstLo
+			if (i%2 == 0) == (phase == 0) {
+				f = burstHi
+			}
+			t.FSE = min(base[i]*f, 1)
+		}
+		return true
+	}
+}
+
+func init() {
+	// The two paper workloads, with their hand mappings.
+	registerBuiltin(Scenario{
+		Name:          DefaultName,
+		Description:   "the paper's Software Defined FM Radio (Figure 6, Table 2 mapping)",
+		Topology:      "pipeline with 3-way equalizer split",
+		Cores:         3,
+		DefaultPolicy: "thermal-balance",
+		DefaultDelta:  3,
+	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+		g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
+		return g, nil, err
+	}, false)
+
+	registerBuiltin(Scenario{
+		Name:          "video-decoder",
+		Description:   "software video decoder pipeline, deliberately unbalanced first-fit mapping",
+		Topology:      "pipeline with 2-way IDCT split",
+		Cores:         3,
+		DefaultPolicy: "thermal-balance",
+		DefaultDelta:  3,
+	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+		g, err := stream.BuildVideo(stream.SDRConfig{QueueCap: o.QueueCap})
+		return g, nil, err
+	}, false)
+
+	// Deep pipelines: every stage sits on the critical path, so freeze
+	// filtering decides whether migrations are affordable at all.
+	for _, depth := range []int{4, 8, 16} {
+		depth := depth
+		registerBuiltin(Scenario{
+			Name:          fmt.Sprintf("pipeline-d%d", depth),
+			Description:   fmt.Sprintf("deep linear pipeline, %d seeded-load stages on the critical path", depth),
+			Topology:      fmt.Sprintf("pipeline depth %d", depth),
+			Cores:         3,
+			DefaultPolicy: "thermal-balance",
+			DefaultDelta:  3,
+			Seed:          int64(depth),
+		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+			g, err := stream.BuildPipeline(stream.PipelineConfig{
+				Depth: depth, Seed: int64(depth), QueueCap: o.QueueCap,
+			})
+			return g, nil, err
+		}, true)
+	}
+
+	// Fan-out/fan-in: many same-shape workers make the pairing space
+	// large; w4 is perfectly symmetric, w8 has a seeded skew.
+	for _, fc := range []struct {
+		width int
+		seed  int64
+		desc  string
+	}{
+		{4, 0, "symmetric 4-way fan-out/fan-in, degenerate pairing space"},
+		{8, 88, "skewed 8-way fan-out/fan-in with seeded worker loads"},
+	} {
+		fc := fc
+		registerBuiltin(Scenario{
+			Name:          fmt.Sprintf("fanout-w%d", fc.width),
+			Description:   fc.desc,
+			Topology:      fmt.Sprintf("split/join width %d", fc.width),
+			Cores:         3,
+			DefaultPolicy: "thermal-balance",
+			DefaultDelta:  3,
+			Seed:          fc.seed,
+		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+			g, err := stream.BuildFanOut(stream.FanConfig{
+				Width: fc.width, Seed: fc.seed, QueueCap: o.QueueCap,
+			})
+			return g, nil, err
+		}, true)
+	}
+
+	// Bursty phase-shifting load on the SDR graph: the hot spot moves
+	// between task groups every few seconds, so a static mapping is
+	// wrong half the time by construction.
+	registerBuiltin(Scenario{
+		Name:          "bursty-sdr",
+		Description:   "SDR graph with phase-shifting load (hot/cold task groups swap every 4 s)",
+		Topology:      "SDR pipeline, FSE modulated over time",
+		Cores:         3,
+		DefaultPolicy: "thermal-balance",
+		DefaultDelta:  3,
+	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+		g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, phaseShiftModulator(g), nil
+	}, false)
+
+	// Many-core scaling: generated workloads on platforms built by
+	// tiling the MPSoC floorplan, ~0.45 FSE budget per core. Shorter
+	// default windows keep the full matrix tractable.
+	for _, n := range []int{8, 16, 32} {
+		n := n
+		registerBuiltin(Scenario{
+			Name:          fmt.Sprintf("manycore-%d", n),
+			Description:   fmt.Sprintf("seeded split/join workload on a %d-core tiled die", n),
+			Topology:      fmt.Sprintf("generated split/join, %d cores", n),
+			Cores:         n,
+			WarmupS:       5,
+			MeasureS:      10,
+			DefaultPolicy: "thermal-balance",
+			DefaultDelta:  2,
+			Seed:          int64(n),
+		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
+			g, err := stream.Generate(stream.GenConfig{
+				Seed:     int64(n),
+				Stages:   n/2 + 4,
+				MaxWidth: 3,
+				TotalFSE: 0.45 * float64(n),
+				QueueCap: o.QueueCap,
+			})
+			return g, nil, err
+		}, true)
+	}
+}

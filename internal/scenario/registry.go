@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultName is the scenario an empty selection resolves to: the
+// paper's benchmark.
+const DefaultName = "sdr-radio"
+
+var reg = struct {
+	sync.RWMutex
+	scenarios map[string]Scenario
+}{scenarios: map[string]Scenario{}}
+
+// Register adds a scenario to the registry. It panics on an empty or
+// duplicate name — registration happens at init time, so both are
+// programming errors.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if s.Build == nil {
+		panic(fmt.Sprintf("scenario: Register %q with nil builder", s.Name))
+	}
+	reg.Lock()
+	defer reg.Unlock()
+	if _, dup := reg.scenarios[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	reg.scenarios[s.Name] = s
+}
+
+// Lookup returns the named scenario. Unknown names report the
+// registered alternatives.
+func Lookup(name string) (Scenario, error) {
+	reg.RLock()
+	defer reg.RUnlock()
+	s, ok := reg.scenarios[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	reg.RLock()
+	defer reg.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(reg.scenarios))
+	for n := range reg.scenarios {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered scenario sorted by name.
+func All() []Scenario {
+	reg.RLock()
+	defer reg.RUnlock()
+	out := make([]Scenario, 0, len(reg.scenarios))
+	for _, s := range reg.scenarios {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

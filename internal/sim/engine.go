@@ -43,7 +43,18 @@ type Config struct {
 	// Thermal selects the RC-network integration scheme (zero value =
 	// explicit Euler, the seed behavior).
 	Thermal thermal.Config
+	// Modulate, when non-nil, is invoked at every sensor update and may
+	// change task FSE loads in place (bursty and phase-shifting
+	// workloads). Returning true signals that loads changed: the engine
+	// then rebinds per-frame work and re-evaluates DVFS on every core.
+	// Tasks mid-frame finish at the old work amount and pick up the new
+	// load at their next frame.
+	Modulate Modulator
 }
+
+// Modulator mutates task loads as a function of simulation time. It
+// must be deterministic in now for reproducible runs.
+type Modulator func(now float64, tasks []*task.Task) bool
 
 func (c *Config) fill() {
 	if c.TickS <= 0 {
@@ -80,6 +91,10 @@ type Engine struct {
 
 	policyActive bool
 
+	// workRatio[i] = CyclesPerFrame/FSE of task i at construction, so
+	// modulated loads rebind to consistent per-frame work.
+	workRatio []float64
+
 	// overshoot tracking (the paper: the hot core exceeds the upper
 	// threshold for <400 ms while balancing)
 	overThresholdS float64
@@ -107,12 +122,16 @@ func New(cfg Config, plat *mpsoc.Platform, g *stream.Graph, pol policy.Policy) (
 		e.rec = trace.New(n, 0)
 	}
 	plat.Thermal.Net.SetIntegrator(thermal.NewIntegrator(cfg.Thermal))
+	e.workRatio = make([]float64, g.NumTasks())
 	for ti, t := range g.Tasks() {
 		if t.Core < 0 || t.Core >= n {
 			return nil, fmt.Errorf("sim: task %q placed on core %d (platform has %d)", t.Name, t.Core, n)
 		}
 		if err := e.sch.Assign(ti, t.Core); err != nil {
 			return nil, err
+		}
+		if t.FSE > 0 {
+			e.workRatio[ti] = t.CyclesPerFrame / t.FSE
 		}
 	}
 	// Initial DVFS assignment from the static mapping.
@@ -174,6 +193,20 @@ func (e *Engine) updateDVFS(c int) {
 		}
 	}
 	e.plat.Gov.Update(c, fse)
+}
+
+// rebindWork syncs every task's per-frame work with its (possibly
+// modulated) FSE. Tasks mid-frame keep the old amount until the frame
+// completes; runCore rebinds them at that frame boundary.
+func (e *Engine) rebindWork() {
+	for ti, t := range e.graph.Tasks() {
+		if t.InFlight {
+			continue
+		}
+		if want := e.workRatio[ti] * t.FSE; t.CyclesPerFrame != want {
+			t.CyclesPerFrame = want
+		}
+	}
 }
 
 // fseMapped sums FSE of all tasks whose home is core c, regardless of
@@ -271,6 +304,15 @@ func (e *Engine) runCore(c int, tick float64) {
 		busy += consumed
 		if done {
 			e.graph.FinishFrame(ti)
+			// Frame boundary: a task that was mid-frame when its load
+			// was modulated picks up the new per-frame work here, even
+			// if a saturated core keeps it in flight across every
+			// sensor update.
+			if e.cfg.Modulate != nil {
+				if want := e.workRatio[ti] * t.FSE; t.CyclesPerFrame != want {
+					t.CyclesPerFrame = want
+				}
+			}
 			// Frame boundary = migration checkpoint (Section 3.2).
 			froze, err := e.migr.AtCheckpoint(ti, e.now)
 			if err != nil {
@@ -294,6 +336,16 @@ func (e *Engine) runCore(c int, tick float64) {
 func (e *Engine) sensorUpdate() error {
 	if _, err := e.plat.FlushWindow(e.cfg.SensorPeriodS); err != nil {
 		return err
+	}
+
+	// Load modulation: phase shifts and bursts change task FSE before
+	// the snapshot is built, so both DVFS and the policy see the new
+	// loads immediately.
+	if e.cfg.Modulate != nil && e.cfg.Modulate(e.now, e.graph.Tasks()) {
+		e.rebindWork()
+		for c := 0; c < e.plat.NumCores(); c++ {
+			e.updateDVFS(c)
+		}
 	}
 
 	s := &e.snapshot

@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thermbal/internal/task"
+)
+
+// This file provides the deterministic synthetic graph families behind
+// the scenario registry: deep pipelines of parameterized depth and
+// fan-out/fan-in graphs of parameterized width. Unlike Generate, which
+// randomizes topology, these builders fix the topology and (optionally)
+// seed only the load profile, so one scenario name always denotes one
+// exact graph.
+
+// PipelineConfig parameterises BuildPipeline.
+type PipelineConfig struct {
+	// Depth is the number of filter stages between source and sink
+	// (>= 1).
+	Depth int
+	// TotalFSE is the load budget split across the stages (default
+	// 0.35 per core-equivalent: 1.4 like the SDR total).
+	TotalFSE float64
+	// Seed, when non-zero, skews the per-stage load shares with a
+	// seeded PRNG; zero gives every stage an equal share.
+	Seed int64
+	// QueueCap, FramePeriod, FMaxHz as in SDRConfig.
+	QueueCap    int
+	FramePeriod float64
+	FMaxHz      float64
+}
+
+// BuildPipeline constructs a linear pipeline SRC → P1 → … → Pn → SINK.
+// Deep pipelines stress the policy's freeze filtering: every stage is on
+// the critical path, so a single long migration stalls the whole chain.
+// Tasks are left unplaced (Core = -1); map them before simulation.
+func BuildPipeline(cfg PipelineConfig) (*Graph, error) {
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("stream: pipeline depth %d < 1", cfg.Depth)
+	}
+	if cfg.TotalFSE <= 0 {
+		cfg.TotalFSE = 1.4
+	}
+	sc := SDRConfig{QueueCap: cfg.QueueCap, FramePeriod: cfg.FramePeriod, FMaxHz: cfg.FMaxHz}
+	sc.fill()
+
+	loads := loadShares(cfg.Depth, cfg.TotalFSE, cfg.Seed)
+	g := NewGraph()
+	prev, err := g.AddQueue("p:in", sc.QueueCap)
+	if err != nil {
+		return nil, err
+	}
+	head := prev
+	for i := 0; i < cfg.Depth; i++ {
+		t, err := task.New(fmt.Sprintf("P%d", i+1), loads[i])
+		if err != nil {
+			return nil, err
+		}
+		t.BindWork(sc.FMaxHz, sc.FramePeriod)
+		out, err := g.AddQueue(fmt.Sprintf("p:%d-out", i+1), sc.QueueCap)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := g.AddTask(t, []int{prev}, []int{out}); err != nil {
+			return nil, err
+		}
+		prev = out
+	}
+	if err := g.SetSource(head, sc.FramePeriod); err != nil {
+		return nil, err
+	}
+	if err := g.SetSink(prev, sc.FramePeriod, sc.SinkPrefill); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FanConfig parameterises BuildFanOut.
+type FanConfig struct {
+	// Width is the number of parallel worker branches (>= 2).
+	Width int
+	// TotalFSE is the load budget: 10 % each to the split and join
+	// stages, the rest shared by the workers (default 1.4).
+	TotalFSE float64
+	// Seed, when non-zero, skews the worker load shares; zero makes the
+	// branches perfectly symmetric.
+	Seed int64
+	// QueueCap, FramePeriod, FMaxHz as in SDRConfig.
+	QueueCap    int
+	FramePeriod float64
+	FMaxHz      float64
+}
+
+// BuildFanOut constructs SRC → SPLIT → {W1 … Wn} → JOIN → SINK: the
+// split broadcasts each frame to every worker and the join needs one
+// frame from each (the SDR's equalizer structure, widened). Wide
+// fan-outs stress candidate selection: many same-load tasks make the
+// pairing space large and symmetric. Tasks are left unplaced.
+func BuildFanOut(cfg FanConfig) (*Graph, error) {
+	if cfg.Width < 2 {
+		return nil, fmt.Errorf("stream: fan-out width %d < 2", cfg.Width)
+	}
+	if cfg.TotalFSE <= 0 {
+		cfg.TotalFSE = 1.4
+	}
+	sc := SDRConfig{QueueCap: cfg.QueueCap, FramePeriod: cfg.FramePeriod, FMaxHz: cfg.FMaxHz}
+	sc.fill()
+
+	edgeFSE := 0.10 * cfg.TotalFSE
+	workerLoads := loadShares(cfg.Width, cfg.TotalFSE-2*edgeFSE, cfg.Seed)
+
+	g := NewGraph()
+	mkQ := func(name string) int {
+		qi, err := g.AddQueue(name, sc.QueueCap)
+		if err != nil {
+			panic(err) // generated names cannot collide
+		}
+		return qi
+	}
+	qIn := mkQ("f:in")
+	branchQ := make([]int, cfg.Width)
+	joinQ := make([]int, cfg.Width)
+	for i := range branchQ {
+		branchQ[i] = mkQ(fmt.Sprintf("f:split-w%d", i+1))
+		joinQ[i] = mkQ(fmt.Sprintf("f:w%d-join", i+1))
+	}
+	qOut := mkQ("f:out")
+
+	mk := func(name string, fse float64, in, out []int) error {
+		t, err := task.New(name, fse)
+		if err != nil {
+			return err
+		}
+		t.BindWork(sc.FMaxHz, sc.FramePeriod)
+		_, err = g.AddTask(t, in, out)
+		return err
+	}
+	if err := mk("SPLIT", edgeFSE, []int{qIn}, branchQ); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Width; i++ {
+		if err := mk(fmt.Sprintf("W%d", i+1), workerLoads[i], []int{branchQ[i]}, []int{joinQ[i]}); err != nil {
+			return nil, err
+		}
+	}
+	if err := mk("JOIN", edgeFSE, joinQ, []int{qOut}); err != nil {
+		return nil, err
+	}
+
+	if err := g.SetSource(qIn, sc.FramePeriod); err != nil {
+		return nil, err
+	}
+	if err := g.SetSink(qOut, sc.FramePeriod, sc.SinkPrefill); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// loadShares splits budget across n tasks: equal shares when seed is 0,
+// otherwise seeded random proportions with a 2 % floor per task. Each
+// share is clamped to 1 (one core at fmax).
+func loadShares(n int, budget float64, seed int64) []float64 {
+	out := make([]float64, n)
+	if seed == 0 {
+		for i := range out {
+			out[i] = min(budget/float64(n), 1)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.05 + rng.Float64()
+		wsum += weights[i]
+	}
+	const floor = 0.02
+	avail := budget - floor*float64(n)
+	if avail < 0 {
+		avail = 0
+	}
+	for i, w := range weights {
+		out[i] = min(floor+avail*w/wsum, 1)
+	}
+	return out
+}

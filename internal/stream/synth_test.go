@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildPipelineShape(t *testing.T) {
+	g, err := BuildPipeline(PipelineConfig{Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 8 {
+		t.Fatalf("depth 8 pipeline has %d tasks", g.NumTasks())
+	}
+	var total float64
+	for _, tk := range g.Tasks() {
+		if tk.Core != -1 {
+			t.Errorf("task %s pre-placed on core %d", tk.Name, tk.Core)
+		}
+		total += tk.FSE
+	}
+	if math.Abs(total-1.4) > 1e-9 {
+		t.Errorf("total FSE %g, want 1.4", total)
+	}
+	// Each stage has exactly one input and one output queue.
+	for i := 0; i < g.NumTasks(); i++ {
+		if len(g.Inputs(i)) != 1 || len(g.Outputs(i)) != 1 {
+			t.Errorf("stage %d wiring %d-in %d-out, want 1-in 1-out", i, len(g.Inputs(i)), len(g.Outputs(i)))
+		}
+	}
+}
+
+func TestBuildPipelineBadDepth(t *testing.T) {
+	if _, err := BuildPipeline(PipelineConfig{Depth: 0}); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestBuildFanOutShape(t *testing.T) {
+	const w = 6
+	g, err := BuildFanOut(FanConfig{Width: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != w+2 {
+		t.Fatalf("width %d fan-out has %d tasks, want %d", w, g.NumTasks(), w+2)
+	}
+	split, ok := g.TaskIndex("SPLIT")
+	if !ok {
+		t.Fatal("no SPLIT task")
+	}
+	if len(g.Outputs(split)) != w {
+		t.Errorf("SPLIT broadcasts to %d queues, want %d", len(g.Outputs(split)), w)
+	}
+	join, ok := g.TaskIndex("JOIN")
+	if !ok {
+		t.Fatal("no JOIN task")
+	}
+	if len(g.Inputs(join)) != w {
+		t.Errorf("JOIN consumes %d queues, want %d", len(g.Inputs(join)), w)
+	}
+}
+
+func TestBuildFanOutBadWidth(t *testing.T) {
+	if _, err := BuildFanOut(FanConfig{Width: 1}); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+}
+
+func TestSynthDeterministicFromSeed(t *testing.T) {
+	build := func() *Graph {
+		g, err := BuildPipeline(PipelineConfig{Depth: 8, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	for i := range a.Tasks() {
+		if a.Task(i).Name != b.Task(i).Name || a.Task(i).FSE != b.Task(i).FSE {
+			t.Fatalf("seed 42 not deterministic at task %d: %s/%g vs %s/%g",
+				i, a.Task(i).Name, a.Task(i).FSE, b.Task(i).Name, b.Task(i).FSE)
+		}
+	}
+	g2, err := BuildPipeline(PipelineConfig{Depth: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tasks() {
+		if a.Task(i).FSE != g2.Task(i).FSE {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical load profiles")
+	}
+}

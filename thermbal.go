@@ -27,6 +27,8 @@ import (
 
 	"thermbal/internal/experiment"
 	"thermbal/internal/migrate"
+	"thermbal/internal/policy"
+	"thermbal/internal/scenario"
 	"thermbal/internal/sim"
 	"thermbal/internal/thermal"
 )
@@ -109,9 +111,17 @@ func (k IntegratorKind) cfg() thermal.Config {
 	}
 }
 
-// Config describes one experiment on the 3-core streaming MPSoC running
-// the SDR benchmark.
+// Config describes one experiment. The default scenario is the SDR
+// benchmark on the 3-core streaming MPSoC; any registered scenario can
+// be selected by name.
 type Config struct {
+	// Scenario names a registered scenario ("sdr-radio",
+	// "video-decoder", "pipeline-d8", ...). Empty selects "sdr-radio".
+	// Scenarios returns the catalogue.
+	Scenario string
+	// PolicyName, when non-empty, selects any registered policy by name
+	// or alias and takes precedence over Policy.
+	PolicyName string
 	// Policy is the management policy (default EnergyBalance).
 	Policy PolicyKind
 	// Delta is the threshold distance from the mean temperature in °C
@@ -147,17 +157,25 @@ func Run(cfg Config) (Result, error) {
 		mech = migrate.Recreation
 	}
 	res, _, err := experiment.Run(experiment.RunConfig{
-		Policy:    cfg.Policy.sel(),
-		Delta:     cfg.Delta,
-		Package:   cfg.Package.sel(),
-		WarmupS:   cfg.WarmupS,
-		MeasureS:  cfg.MeasureS,
-		QueueCap:  cfg.QueueCap,
-		Mechanism: mech,
-		Thermal:   cfg.Integrator.cfg(),
+		Scenario:   cfg.Scenario,
+		PolicyName: cfg.PolicyName,
+		Policy:     cfg.Policy.sel(),
+		Delta:      cfg.Delta,
+		Package:    cfg.Package.sel(),
+		WarmupS:    cfg.WarmupS,
+		MeasureS:   cfg.MeasureS,
+		QueueCap:   cfg.QueueCap,
+		Mechanism:  mech,
+		Thermal:    cfg.Integrator.cfg(),
 	})
 	return res, err
 }
+
+// Scenarios returns the names of every registered scenario.
+func Scenarios() []string { return scenario.Names() }
+
+// Policies returns the canonical names of every registered policy.
+func Policies() []string { return policy.Names() }
 
 // Deltas is the paper's threshold sweep (2..5 °C).
 func Deltas() []float64 {
