@@ -6,7 +6,7 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check test race bench bench-smoke bench-thermal bench-json clean
+.PHONY: check build vet fmt-check test race bench bench-smoke bench-thermal bench-json bench-diff clean
 
 check: fmt-check vet build race bench-smoke
 
@@ -46,12 +46,37 @@ bench-thermal:
 # recipe line so a failure aborts the target instead of being masked by
 # the pipeline's exit status.
 bench-json:
+	@if git ls-files --error-unmatch $(BENCH_OUT) >/dev/null 2>&1; then \
+		echo "bench-json: $(BENCH_OUT) is already a committed trajectory point;"; \
+		echo "            pass BENCH_OUT=BENCH_$(BENCH_DATE)_2.json (or similar) to add a new one"; \
+		exit 1; \
+	fi
 	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 1x . > .bench.tmp
 	$(GO) test -bench BenchmarkStep -run '^$$' -benchtime 1x ./internal/thermal >> .bench.tmp
 	$(GO) run ./cmd/bench2json < .bench.tmp > $(BENCH_OUT)
 	@rm -f .bench.tmp
 	@echo "wrote $(BENCH_OUT)"
 
-clean:
+# Compare Sweep-benchmark numbers against the latest committed
+# trajectory point; fails when any Sweep benchmark is >15% slower.
+# Set BENCH_NEW to an existing bench2json document (CI reuses the
+# bench-json artifact it just produced) to skip the fresh run.
+# The baseline is the latest *committed* trajectory point, so a
+# BENCH_<date>.json freshly written by `make bench-json` cannot become
+# its own baseline.
+BENCH_BASE = $$(git ls-files 'BENCH_*.json' | sort -V | tail -1)
+
+bench-diff:
+ifdef BENCH_NEW
+	$(GO) run ./cmd/benchdiff -base "$(BENCH_BASE)" -new $(BENCH_NEW) -match 'BenchmarkSweep' -max-regress 0.15
+else
+	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 3x . > .bench.tmp
+	$(GO) run ./cmd/bench2json < .bench.tmp > .bench-new.json
 	@rm -f .bench.tmp
+	$(GO) run ./cmd/benchdiff -base "$(BENCH_BASE)" -new .bench-new.json -match 'BenchmarkSweep' -max-regress 0.15
+	@rm -f .bench-new.json
+endif
+
+clean:
+	@rm -f .bench.tmp .bench-new.json
 	$(GO) clean ./...

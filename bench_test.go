@@ -205,6 +205,34 @@ func BenchmarkEngineTick(b *testing.B) {
 	}
 }
 
+// benchManycore32 runs the 32-core tiled scenario under the balancing
+// policy for a short window — the scale point where per-tick cost grows
+// linearly with cores and the event-horizon fast path matters most.
+func benchManycore32(b *testing.B, noFastPath bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiment.Run(experiment.RunConfig{
+			Scenario: "manycore-32", PolicyName: "thermal-balance", Delta: 2,
+			WarmupS: 1, MeasureS: 2, NoFastPath: noFastPath,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeasuredS <= 0 {
+			b.Fatal("no measurement window")
+		}
+	}
+}
+
+// BenchmarkManycore32 is the scaling figure of merit with the fast path
+// enabled (the default).
+func BenchmarkManycore32(b *testing.B) { benchManycore32(b, false) }
+
+// BenchmarkManycore32TickStepped disables the fast path; the ratio to
+// BenchmarkManycore32 is the macro-stepping speedup at 32 cores
+// (results are bit-for-bit identical either way).
+func BenchmarkManycore32TickStepped(b *testing.B) { benchManycore32(b, true) }
+
 // BenchmarkAblations runs the design-choice ablation suite (daemon
 // period, TopK, cost filter, mechanism, queue sizing).
 func BenchmarkAblations(b *testing.B) {

@@ -1,0 +1,119 @@
+// Command benchdiff compares two bench2json documents and fails when
+// any benchmark matching a name filter regressed beyond a threshold.
+// `make bench-diff` uses it to compare a fresh run against the latest
+// committed BENCH_<date>.json, so Sweep-benchmark regressions surface
+// in CI instead of silently accumulating.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_2026-07-29.json -new fresh.json \
+//	          -match 'BenchmarkSweep' -max-regress 0.15
+//
+// Exit status 1 means at least one matched benchmark regressed by more
+// than the threshold; missing counterparts are reported but do not
+// fail the comparison (benchmarks come and go across commits).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"thermbal/internal/benchparse"
+)
+
+// document mirrors cmd/bench2json's output shape; only the fields the
+// comparison needs are decoded.
+type document struct {
+	Date       string              `json:"date"`
+	Benchmarks []benchparse.Result `json:"benchmarks"`
+}
+
+// procsSuffix is the "-<GOMAXPROCS>" tail `go test -bench` appends to
+// benchmark names on multi-core machines. Baselines and fresh runs may
+// come from machines with different core counts, so names are compared
+// with the suffix stripped.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripProcs(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+func load(path string) (document, error) {
+	var doc document
+	f, err := os.Open(path)
+	if err != nil {
+		return doc, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return doc, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		basePath   = flag.String("base", "", "baseline bench2json document")
+		newPath    = flag.String("new", "", "fresh bench2json document")
+		match      = flag.String("match", ".", "regexp selecting benchmark names to gate on")
+		maxRegress = flag.Float64("max-regress", 0.15, "maximum allowed ns/op increase as a fraction of the baseline")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		log.Fatal("both -base and -new are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		log.Fatalf("bad -match: %v", err)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[stripProcs(b.Name)] = b.NsPerOp
+	}
+	fmt.Printf("baseline %s (%s)\n", *basePath, base.Date)
+	regressed := 0
+	compared := 0
+	for _, b := range fresh.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		was, ok := baseline[stripProcs(b.Name)]
+		if !ok {
+			fmt.Printf("  %-34s %12.0f ns/op  (new benchmark, no baseline)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		compared++
+		delta := (b.NsPerOp - was) / was
+		verdict := "ok"
+		if delta > *maxRegress {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("  %-34s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", b.Name, was, b.NsPerOp, 100*delta, verdict)
+	}
+	if compared == 0 {
+		log.Fatalf("no benchmarks matched %q in both documents", *match)
+	}
+	if regressed > 0 {
+		log.Fatalf("%d of %d matched benchmarks regressed more than %.0f%%", regressed, compared, 100**maxRegress)
+	}
+	fmt.Printf("%d matched benchmarks within the %.0f%% budget\n", compared, 100**maxRegress)
+}

@@ -45,6 +45,7 @@ func main() {
 		recreate   = flag.Bool("recreation", false, "use task-recreation instead of task-replication")
 		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
 		workers    = flag.Int("workers", 0, "worker pool size for -policy all / -matrix (default GOMAXPROCS)")
+		noFastPath = flag.Bool("no-fastpath", false, "disable the engine's event-horizon fast path (results are bit-for-bit identical; for A/B validation)")
 		traceOut   = flag.String("trace", "", "write the temperature/frequency timeline CSV to this file")
 		eventsOut  = flag.String("events", "", "write the event log CSV to this file")
 	)
@@ -88,14 +89,15 @@ func main() {
 		*delta = sc.DefaultDelta
 	}
 	rc := experiment.RunConfig{
-		Scenario: sc.Name,
-		Delta:    *delta,
-		Package:  pkg,
-		WarmupS:  *warmup,
-		MeasureS: *measure,
-		QueueCap: *queueCap,
-		Trace:    *traceOut != "" || *eventsOut != "",
-		Thermal:  thermalCfg,
+		Scenario:   sc.Name,
+		Delta:      *delta,
+		Package:    pkg,
+		WarmupS:    *warmup,
+		MeasureS:   *measure,
+		QueueCap:   *queueCap,
+		Trace:      *traceOut != "" || *eventsOut != "",
+		Thermal:    thermalCfg,
+		NoFastPath: *noFastPath,
 	}
 	if *recreate {
 		rc.Mechanism = migrate.Recreation

@@ -165,6 +165,49 @@ func (b *Bus) Advance(dt float64) {
 // Active returns the number of in-flight transfers.
 func (b *Bus) Active() int { return len(b.active) }
 
+// SafeTicks returns how many consecutive Advance(tick) calls are
+// guaranteed to complete no transfer, for the simulation fast path. One
+// whole tick of margin absorbs the per-tick rounding of the remaining
+// counters. Returns a huge bound when the bus is idle.
+func (b *Bus) SafeTicks(tick float64) int64 {
+	if len(b.active) == 0 {
+		return int64(1) << 40
+	}
+	share := b.bandwidth / float64(len(b.active))
+	perTick := share * tick
+	if perTick <= 0 {
+		return 0
+	}
+	safe := int64(1) << 40
+	for _, t := range b.active {
+		if s := int64(t.remaining/perTick) - 1; s < safe {
+			safe = s
+		}
+	}
+	if safe < 0 {
+		return 0
+	}
+	return safe
+}
+
+// AdvanceTicks replays k event-free ticks of bus time, performing
+// exactly the arithmetic k sequential Advance(tick) calls would —
+// bit-for-bit, including accumulation order — under the caller's
+// guarantee (via SafeTicks) that no transfer completes and none starts.
+func (b *Bus) AdvanceTicks(tick float64, k int64) {
+	if len(b.active) == 0 || k <= 0 {
+		return
+	}
+	share := b.bandwidth / float64(len(b.active))
+	for ; k > 0; k-- {
+		for _, t := range b.active {
+			t.remaining -= share * tick
+			b.moved += share * tick
+		}
+		b.busyAcc += tick
+	}
+}
+
 // Bandwidth returns the aggregate bandwidth in bytes/second.
 func (b *Bus) Bandwidth() float64 { return b.bandwidth }
 

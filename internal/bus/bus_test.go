@@ -222,3 +222,83 @@ func TestLatencyEstimateMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// AdvanceTicks over a SafeTicks span must be bit-for-bit identical to
+// the same number of sequential Advance(tick) calls — the contract the
+// simulation fast path depends on.
+func TestAdvanceTicksMatchesSequentialAdvance(t *testing.T) {
+	const tick = 100e-6
+	mk := func() (*Bus, *Transfer, *Transfer) {
+		b := New(Params{})
+		t1, err := b.Start("a", 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := b.Start("b", 48<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, t1, t2
+	}
+	seq, s1, s2 := mk()
+	fast, f1, f2 := mk()
+	safe := fast.SafeTicks(tick)
+	if safe <= 0 {
+		t.Fatalf("SafeTicks = %d at transfer start", safe)
+	}
+	for i := int64(0); i < safe; i++ {
+		seq.Advance(tick)
+	}
+	fast.AdvanceTicks(tick, safe)
+	if s1.Done() || s2.Done() || f1.Done() || f2.Done() {
+		t.Fatal("a transfer completed within the safe window")
+	}
+	if s1.Remaining() != f1.Remaining() || s2.Remaining() != f2.Remaining() {
+		t.Errorf("remaining diverged: %x/%x vs %x/%x",
+			s1.Remaining(), s2.Remaining(), f1.Remaining(), f2.Remaining())
+	}
+	if seq.BusySeconds() != fast.BusySeconds() || seq.BytesMoved() != fast.BytesMoved() {
+		t.Errorf("accounting diverged: busy %x vs %x, moved %x vs %x",
+			seq.BusySeconds(), fast.BusySeconds(), seq.BytesMoved(), fast.BytesMoved())
+	}
+	// Driving both to completion tick-by-tick must finish on the same tick.
+	ticksSeq, ticksFast := 0, 0
+	for !s1.Done() || !s2.Done() {
+		seq.Advance(tick)
+		ticksSeq++
+	}
+	for !f1.Done() || !f2.Done() {
+		fast.Advance(tick)
+		ticksFast++
+	}
+	if ticksSeq != ticksFast {
+		t.Errorf("completion shifted: %d vs %d ticks after the safe window", ticksSeq, ticksFast)
+	}
+}
+
+func TestSafeTicksIdleAndEdge(t *testing.T) {
+	b := New(Params{})
+	if b.SafeTicks(100e-6) < 1<<30 {
+		t.Error("idle bus reported a near horizon")
+	}
+	b.AdvanceTicks(100e-6, 1000) // must be a no-op when idle
+	if b.BusySeconds() != 0 {
+		t.Error("AdvanceTicks accrued busy time on an idle bus")
+	}
+	tr, err := b.Start("tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nearly-finished transfer must force plain stepping (0 safe ticks
+	// once remaining is within one tick of completion).
+	for b.SafeTicks(100e-6) > 0 {
+		b.AdvanceTicks(100e-6, 1)
+	}
+	if tr.Done() {
+		t.Fatal("transfer completed during safe replay")
+	}
+	b.Advance(100e-6 * 3)
+	if !tr.Done() {
+		t.Error("transfer did not complete after the safe window")
+	}
+}

@@ -112,6 +112,10 @@ type RunConfig struct {
 	MinInterval float64
 	TopK        int
 	MaxFreezeS  float64
+
+	// NoFastPath disables the engine's event-horizon fast path (results
+	// are bit-for-bit identical either way; used for A/B validation).
+	NoFastPath bool
 }
 
 func (rc *RunConfig) fill() {
@@ -193,6 +197,7 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 		RecordTrace:   rc.Trace,
 		Thermal:       rc.Thermal,
 		Modulate:      inst.Modulate,
+		NoFastPath:    rc.NoFastPath,
 	}, inst.Platform, inst.Graph, pol)
 	if err != nil {
 		return sim.Result{}, nil, err
@@ -358,12 +363,12 @@ func measureMigrationCost(mech migrate.Mechanism, sizeKB int) (float64, error) {
 	if _, err := m.AtCheckpoint(0, 0); err != nil {
 		return 0, err
 	}
+	// now is derived from the step count rather than accumulated, so the
+	// probe clock cannot drift over the 10^7-step budget.
 	const h = 1e-4
-	now := 0.0
 	for i := 0; i < 10_000_000 && mg.Phase != migrate.Done; i++ {
 		b.Advance(h)
-		now += h
-		m.Advance(now)
+		m.Advance(float64(i+1) * h)
 	}
 	if mg.Phase != migrate.Done {
 		return 0, fmt.Errorf("experiment: migration of %d KB never finished", sizeKB)

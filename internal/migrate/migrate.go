@@ -18,6 +18,7 @@ package migrate
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"thermbal/internal/bus"
@@ -194,6 +195,37 @@ func (m *Manager) Pending(ti int) (*Migration, bool) {
 // NumPending returns the count of in-flight migrations.
 func (m *Manager) NumPending() int { return len(m.pending) }
 
+// NumTransferring counts migrations whose context is currently crossing
+// the shared bus. Their phase advances only on bus completion, which
+// the engine's event horizon bounds through bus.Bus.SafeTicks; the
+// count itself is a diagnostic for tests and tooling.
+func (m *Manager) NumTransferring() int {
+	n := 0
+	for _, mg := range m.pending {
+		if mg.Phase == Transferring {
+			n++
+		}
+	}
+	return n
+}
+
+// NextPhaseTransitionAt returns the earliest absolute time at which a
+// pending migration changes phase independently of frame-boundary and
+// bus events: the end of the earliest restore window (task-recreation's
+// fork/exec overhead). +Inf when no such self-timed transition is
+// scheduled — WaitCheckpoint advances only at checkpoints and
+// Transferring only on bus completion, both of which the engine's
+// event horizon already bounds.
+func (m *Manager) NextPhaseTransitionAt() float64 {
+	at := math.Inf(1)
+	for _, mg := range m.pending {
+		if mg.Phase == Restoring && mg.restoreEnd < at {
+			at = mg.restoreEnd
+		}
+	}
+	return at
+}
+
 // AtCheckpoint notifies the middleware that task ti reached a frame
 // boundary at time now. If a migration is waiting, the task freezes and
 // its context transfer starts. Returns true when a freeze happened.
@@ -233,6 +265,9 @@ func (m *Manager) AtCheckpoint(ti int, now float64) (bool, error) {
 // advance the bus separately (it owns bus time). Iteration is in task-
 // index order so completion side effects are deterministic.
 func (m *Manager) Advance(now float64) {
+	if len(m.pending) == 0 {
+		return
+	}
 	keys := make([]int, 0, len(m.pending))
 	for ti := range m.pending {
 		keys = append(keys, ti)

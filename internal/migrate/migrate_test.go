@@ -2,6 +2,7 @@ package migrate
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"thermbal/internal/bus"
@@ -257,5 +258,55 @@ func TestPendingLookup(t *testing.T) {
 	got, ok := m.Pending(0)
 	if !ok || got != mg {
 		t.Error("Pending lookup failed")
+	}
+}
+
+func TestTransitQueries(t *testing.T) {
+	b, m, tk := newEnv(Recreation)
+	if m.NumTransferring() != 0 {
+		t.Fatal("transferring before any request")
+	}
+	if !math.IsInf(m.NextPhaseTransitionAt(), 1) {
+		t.Fatal("phase transition scheduled before any request")
+	}
+	mg, err := m.Request(tk, 0, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WaitCheckpoint: still nothing in transit, no self-timed transition.
+	if m.NumTransferring() != 0 || !math.IsInf(m.NextPhaseTransitionAt(), 1) {
+		t.Errorf("wait-checkpoint: transferring=%d nextAt=%v", m.NumTransferring(), m.NextPhaseTransitionAt())
+	}
+	if _, err := m.AtCheckpoint(0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTransferring() != 1 {
+		t.Errorf("transferring = %d after freeze", m.NumTransferring())
+	}
+	// Drive until the transfer finishes; recreation then enters
+	// Restoring with a self-timed end the query must report.
+	const h = 1e-3
+	now := 1.5
+	for i := 0; i < 100000 && mg.Phase == Transferring; i++ {
+		b.Advance(h)
+		now += h
+		m.Advance(now)
+	}
+	if mg.Phase != Restoring {
+		t.Fatalf("phase = %v after transfer", mg.Phase)
+	}
+	if m.NumTransferring() != 0 {
+		t.Errorf("transferring = %d during restore", m.NumTransferring())
+	}
+	at := m.NextPhaseTransitionAt()
+	if math.IsInf(at, 1) || at < now || at > now+2*m.RestoreOverheadS {
+		t.Errorf("NextPhaseTransitionAt = %v, want within (%v, %v]", at, now, now+m.RestoreOverheadS)
+	}
+	m.Advance(at)
+	if mg.Phase != Done {
+		t.Errorf("phase = %v at restore end", mg.Phase)
+	}
+	if !math.IsInf(m.NextPhaseTransitionAt(), 1) {
+		t.Error("phase transition still scheduled after completion")
 	}
 }

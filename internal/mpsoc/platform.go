@@ -165,10 +165,18 @@ func (p *Platform) CoreTemps(dst []float64) []float64 {
 	return dst
 }
 
-// AccountTick accrues one tick of activity for core c: busy cycles
-// executed out of the capacity f*dt, converting activity into energy on
-// the core and cache blocks.
-func (p *Platform) AccountTick(c int, dt, busyCycles float64) {
+// AccountSpan accrues a span of dt seconds of activity for core c:
+// busyCycles executed out of the capacity f*dt, converting activity
+// into energy on the core and cache blocks. The caller guarantees the
+// core's frequency, power state and die temperature were constant over
+// the span; because every component power model is affine in activity,
+// one span evaluation then equals the sum of its per-tick evaluations,
+// which is what lets the simulation engine account macro-steps and
+// plain ticks identically.
+func (p *Platform) AccountSpan(c int, dt, busyCycles float64) {
+	if dt <= 0 {
+		return
+	}
 	f := p.Frequency(c)
 	capCycles := f * dt
 	util := 0.0
@@ -194,10 +202,12 @@ func (p *Platform) AccountTick(c int, dt, busyCycles float64) {
 	}
 }
 
-// AccountShared accrues shared-memory energy for one tick from bus
-// activity (fraction of the tick the bus moved data).
+// AccountShared accrues shared-memory energy for a span of dt seconds
+// from bus activity (the fraction of the span the bus moved data since
+// the previous call). The shared-memory power model is affine in
+// activity, so one call over a sensor window equals the per-tick sum.
 func (p *Platform) AccountShared(dt float64) {
-	if p.memBlk < 0 {
+	if p.memBlk < 0 || dt <= 0 {
 		return
 	}
 	busy := p.Bus.BusySeconds()

@@ -86,7 +86,7 @@ func TestAccountAndFlushWindow(t *testing.T) {
 			if c == 0 {
 				busy = 0.65 * p.Frequency(0) * tick
 			}
-			p.AccountTick(c, tick, busy)
+			p.AccountSpan(c, tick, busy)
 		}
 		p.AccountShared(tick)
 	}
@@ -117,11 +117,11 @@ func TestAccountAndFlushWindow(t *testing.T) {
 	}
 }
 
-func TestAccountTickClampsUtilization(t *testing.T) {
+func TestAccountSpanClampsUtilization(t *testing.T) {
 	p := newPlat(t)
 	p.Gov.Update(0, 0.65)
 	// Report more busy cycles than capacity: power must not explode.
-	p.AccountTick(0, 100e-6, 1e12)
+	p.AccountSpan(0, 100e-6, 1e12)
 	util, err := p.FlushWindow(10e-3)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestSettleThermalMatchesLongRun(t *testing.T) {
 	for i := 0; i < 60000; i++ {
 		for c := 0; c < 3; c++ {
 			p := pB
-			p.AccountTick(c, tick, util[c]*p.Frequency(c)*tick)
+			p.AccountSpan(c, tick, util[c]*p.Frequency(c)*tick)
 		}
 		if i%10 == 9 {
 			if _, err := pB.FlushWindow(10 * tick); err != nil {

@@ -120,6 +120,35 @@ func (s *Scheduler) PickNext(c int, runnable func(ti int) bool) int {
 	return -1
 }
 
+// OrderFrom returns core c's run queue in pick order — starting at the
+// round-robin cursor and wrapping — without advancing the cursor. The
+// result is appended into dst (reset to length zero), so callers can
+// reuse a scratch buffer across calls. The engine's event-horizon fast
+// path uses this to predict which task each upcoming tick's PickNext
+// will select.
+func (s *Scheduler) OrderFrom(c int, dst []int) []int {
+	dst = dst[:0]
+	q := s.queues[c]
+	cur := s.cursor[c]
+	dst = append(dst, q[cur:]...)
+	return append(dst, q[:cur]...)
+}
+
+// AdvancePast moves core c's round-robin cursor just past task ti,
+// exactly as PickNext does when it picks ti. The engine's fast path
+// uses it to leave the cursor where a sequence of picks ending in ti
+// would have, without walking the picks one by one.
+func (s *Scheduler) AdvancePast(c, ti int) {
+	q := s.queues[c]
+	for i, v := range q {
+		if v == ti {
+			s.cursor[c] = (i + 1) % len(q)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: AdvancePast(%d) — task not on core %d", ti, c))
+}
+
 // Mapping returns a copy of the full task→core map.
 func (s *Scheduler) Mapping() map[int]int {
 	m := make(map[int]int, len(s.coreOf))

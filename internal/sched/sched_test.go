@@ -209,3 +209,72 @@ func TestRRFairnessProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOrderFromFollowsCursor(t *testing.T) {
+	s := New(1)
+	for _, ti := range []int{5, 7, 9} {
+		if err := s.Assign(ti, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := func(int) bool { return true }
+	// Advance the cursor past 5: pick order becomes 7, 9, 5.
+	if got := s.PickNext(0, all); got != 5 {
+		t.Fatalf("first pick = %d", got)
+	}
+	got := s.OrderFrom(0, nil)
+	want := []int{7, 9, 5}
+	if len(got) != len(want) {
+		t.Fatalf("OrderFrom = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderFrom = %v, want %v", got, want)
+		}
+	}
+	// OrderFrom must not advance the cursor.
+	if next := s.PickNext(0, all); next != 7 {
+		t.Errorf("pick after OrderFrom = %d, want 7", next)
+	}
+}
+
+// AdvancePast must leave the cursor exactly where a PickNext returning
+// that task would have.
+func TestAdvancePastMatchesPickNext(t *testing.T) {
+	mk := func() *Scheduler {
+		s := New(1)
+		for _, ti := range []int{2, 4, 6, 8} {
+			if err := s.Assign(ti, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	all := func(int) bool { return true }
+	for _, target := range []int{2, 4, 6, 8} {
+		picked := mk()
+		for picked.PickNext(0, all) != target {
+		}
+		jumped := mk()
+		jumped.AdvancePast(0, target)
+		for i := 0; i < 4; i++ {
+			a, b := picked.PickNext(0, all), jumped.PickNext(0, all)
+			if a != b {
+				t.Fatalf("after target %d: pick %d diverged (%d vs %d)", target, i, a, b)
+			}
+		}
+	}
+}
+
+func TestAdvancePastUnknownTaskPanics(t *testing.T) {
+	s := New(1)
+	if err := s.Assign(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvancePast(unmapped) did not panic")
+		}
+	}()
+	s.AdvancePast(0, 99)
+}

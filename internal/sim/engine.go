@@ -5,6 +5,11 @@
 // couples it to the RC thermal model at the 10 ms sensor period, at
 // which point the active management policy is consulted and its actions
 // (migrations, core stop/start) are applied.
+//
+// Time is an integer tick counter (Now() is derived, never
+// accumulated, so the clock cannot drift), and event-free stretches of
+// the tick loop are jumped in macro-steps by the event-horizon fast
+// path (see horizon.go) with bit-for-bit identical results.
 package sim
 
 import (
@@ -50,6 +55,11 @@ type Config struct {
 	// Tasks mid-frame finish at the old work amount and pick up the new
 	// load at their next frame.
 	Modulate Modulator
+	// NoFastPath disables the event-horizon macro-stepping fast path and
+	// forces plain tick-by-tick execution. Results are bit-for-bit
+	// identical either way; the switch exists for A/B validation and for
+	// isolating fast-path regressions.
+	NoFastPath bool
 }
 
 // Modulator mutates task loads as a function of simulation time. It
@@ -75,7 +85,36 @@ type Engine struct {
 	migr  *migrate.Manager
 	pol   policy.Policy
 
-	now float64
+	// ticks is the integer simulation clock: the number of execution
+	// ticks advanced since construction. now is always derived as
+	// float64(ticks)*TickS, never accumulated, so the clock carries no
+	// floating-point drift regardless of run length, and consecutive Run
+	// calls are bit-for-bit identical to one long run.
+	ticks int64
+	now   float64
+	// sensorEvery is the sensor/policy period in ticks; sensor updates
+	// fire at absolute tick multiples of it, so Run re-entry keeps the
+	// sensor cadence aligned to absolute time.
+	sensorEvery int64
+
+	// Power accounting is deferred into constant-state spans: within a
+	// sensor window the die temperatures are constant, and between DVFS /
+	// power-state changes each core's frequency is too, so the affine
+	// power model integrates exactly over the whole span. pendTicks is
+	// integer so span lengths are identical whether the span was walked
+	// tick-by-tick or jumped by the fast path.
+	pendTicks       []int64   // per-core un-accounted ticks
+	pendBusy        []float64 // per-core un-accounted busy cycles
+	lastSharedFlush int64     // tick of the last shared-memory flush
+
+	// Fast-path scratch (reused across macro-steps). The horizon scan
+	// records each core's allocation ring — its allocatable tasks in
+	// pick order — as ringFlat[ringOff[c]:ringOff[c+1]], and macroStep
+	// replays it without rescanning the run queues.
+	runnableFn func(int) bool // the tick path's PickNext predicate
+	orderBuf   []int
+	ringFlat   []int
+	ringOff    []int
 
 	temps    *metrics.TempCollector
 	rec      *trace.Recorder
@@ -110,13 +149,27 @@ func New(cfg Config, plat *mpsoc.Platform, g *stream.Graph, pol policy.Policy) (
 	}
 	n := plat.NumCores()
 	e := &Engine{
-		cfg:   cfg,
-		plat:  plat,
-		graph: g,
-		sch:   sched.New(n),
-		migr:  migrate.NewManager(plat.Bus, cfg.Mechanism),
-		pol:   pol,
-		temps: metrics.NewTempCollector(n),
+		cfg:       cfg,
+		plat:      plat,
+		graph:     g,
+		sch:       sched.New(n),
+		migr:      migrate.NewManager(plat.Bus, cfg.Mechanism),
+		pol:       pol,
+		temps:     metrics.NewTempCollector(n),
+		pendTicks: make([]int64, n),
+		pendBusy:  make([]float64, n),
+		ringOff:   make([]int, n+1),
+	}
+	e.runnableFn = func(ti int) bool {
+		t := e.graph.Task(ti)
+		if !t.Runnable() {
+			return false
+		}
+		return t.InFlight || e.graph.CanFire(ti)
+	}
+	e.sensorEvery = int64(cfg.SensorPeriodS/cfg.TickS + 0.5)
+	if e.sensorEvery < 1 {
+		e.sensorEvery = 1
 	}
 	if cfg.RecordTrace {
 		e.rec = trace.New(n, 0)
@@ -170,8 +223,11 @@ func (e *Engine) Migrations() *migrate.Manager { return e.migr }
 // Scheduler exposes the per-core run queues.
 func (e *Engine) Scheduler() *sched.Scheduler { return e.sch }
 
-// Now returns the current simulation time.
+// Now returns the current simulation time: exactly Ticks()*TickS.
 func (e *Engine) Now() float64 { return e.now }
+
+// Ticks returns the integer tick count advanced since construction.
+func (e *Engine) Ticks() int64 { return e.ticks }
 
 // Recorder returns the trace recorder (nil unless RecordTrace).
 func (e *Engine) Recorder() *trace.Recorder { return e.rec }
@@ -180,8 +236,22 @@ func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 // after MeasureStartS).
 func (e *Engine) TempMetrics() *metrics.TempCollector { return e.temps }
 
+// flushAccount settles core c's pending execution span into the power
+// accounting. It must run before anything that changes the core's
+// operating point (frequency, power state) or the die temperature, so
+// every accounted span has constant state.
+func (e *Engine) flushAccount(c int) {
+	if e.pendTicks[c] == 0 {
+		return
+	}
+	e.plat.AccountSpan(c, float64(e.pendTicks[c])*e.cfg.TickS, e.pendBusy[c])
+	e.pendTicks[c] = 0
+	e.pendBusy[c] = 0
+}
+
 // updateDVFS recomputes core c's level from its mapped, unfrozen tasks.
 func (e *Engine) updateDVFS(c int) {
+	e.flushAccount(c)
 	if !e.plat.Powered(c) {
 		return // stays at 0 until restart
 	}
@@ -233,20 +303,22 @@ func (e *Engine) onMigrationComplete(mg *migrate.Migration) {
 	}
 }
 
-// Run advances the simulation by duration seconds.
+// Run advances the simulation by duration seconds. The tick and sensor
+// bookkeeping live on the Engine, so split runs are bit-for-bit
+// identical to one long run: Run(0.005) twice fires the same sensor
+// updates at the same absolute ticks as Run(0.010).
 func (e *Engine) Run(duration float64) error {
 	if duration <= 0 {
 		return errors.New("sim: non-positive duration")
 	}
-	tick := e.cfg.TickS
-	sensorEvery := int(e.cfg.SensorPeriodS/tick + 0.5)
-	if sensorEvery < 1 {
-		sensorEvery = 1
-	}
-	steps := int(duration/tick + 0.5)
-	for i := 0; i < steps; i++ {
-		e.stepTick(tick)
-		if (i+1)%sensorEvery == 0 {
+	end := e.ticks + int64(duration/e.cfg.TickS+0.5)
+	for e.ticks < end {
+		if e.cfg.NoFastPath {
+			e.stepTick(e.cfg.TickS)
+		} else {
+			e.advance(end)
+		}
+		if e.ticks%e.sensorEvery == 0 {
 			if err := e.sensorUpdate(); err != nil {
 				return err
 			}
@@ -255,9 +327,32 @@ func (e *Engine) Run(duration float64) error {
 	return nil
 }
 
+// advance moves the clock forward by one fast-path group: a macro-step
+// over the event-free horizon followed by the plain tick that contains
+// the next event, so the horizon scan is amortized over the whole
+// group. It never crosses a sensor boundary or the run end.
+func (e *Engine) advance(end int64) {
+	max := e.sensorEvery - e.ticks%e.sensorEvery // ticks to the boundary
+	if remain := end - e.ticks; remain < max {
+		max = remain
+	}
+	span := e.horizonTicks(max)
+	if span <= 0 {
+		e.stepTick(e.cfg.TickS)
+		return
+	}
+	e.macroStep(span)
+	if span < max {
+		// The tick after an event-free horizon holds the next event;
+		// execute it plainly before rescanning.
+		e.stepTick(e.cfg.TickS)
+	}
+}
+
 // stepTick advances one execution tick.
 func (e *Engine) stepTick(tick float64) {
-	e.now += tick
+	e.ticks++
+	e.now = float64(e.ticks) * tick
 	e.graph.AdvanceSource(e.now)
 
 	n := e.plat.NumCores()
@@ -266,7 +361,6 @@ func (e *Engine) stepTick(tick float64) {
 	}
 
 	e.plat.Bus.Advance(tick)
-	e.plat.AccountShared(tick)
 	e.migr.Advance(e.now)
 
 	e.graph.AdvanceSink(e.now)
@@ -276,20 +370,13 @@ func (e *Engine) stepTick(tick float64) {
 func (e *Engine) runCore(c int, tick float64) {
 	f := e.plat.Frequency(c)
 	if f <= 0 {
-		e.plat.AccountTick(c, tick, 0)
+		e.pendTicks[c]++
 		return
 	}
 	budget := f * tick
 	var busy float64
-	runnable := func(ti int) bool {
-		t := e.graph.Task(ti)
-		if !t.Runnable() {
-			return false
-		}
-		return t.InFlight || e.graph.CanFire(ti)
-	}
 	for budget > 1e-6 {
-		ti := e.sch.PickNext(c, runnable)
+		ti := e.sch.PickNext(c, e.runnableFn)
 		if ti < 0 {
 			break
 		}
@@ -328,12 +415,20 @@ func (e *Engine) runCore(c int, tick float64) {
 			}
 		}
 	}
-	e.plat.AccountTick(c, tick, busy)
+	e.pendTicks[c]++
+	e.pendBusy[c] += busy
 }
 
 // sensorUpdate flushes the power window into the thermal model, samples
 // metrics, and runs the policy.
 func (e *Engine) sensorUpdate() error {
+	for c := 0; c < e.plat.NumCores(); c++ {
+		e.flushAccount(c)
+	}
+	if e.ticks > e.lastSharedFlush {
+		e.plat.AccountShared(float64(e.ticks-e.lastSharedFlush) * e.cfg.TickS)
+		e.lastSharedFlush = e.ticks
+	}
 	if _, err := e.plat.FlushWindow(e.cfg.SensorPeriodS); err != nil {
 		return err
 	}
@@ -438,6 +533,7 @@ func (e *Engine) apply(act policy.Action) error {
 		if a.Core < 0 || a.Core >= e.plat.NumCores() {
 			return fmt.Errorf("sim: policy stopped unknown core %d", a.Core)
 		}
+		e.flushAccount(a.Core)
 		e.plat.SetPowered(a.Core, false, 0)
 		if e.rec != nil {
 			e.rec.AddEvent(e.now, "stop", "core%d stopped", a.Core+1)
@@ -446,6 +542,7 @@ func (e *Engine) apply(act policy.Action) error {
 		if a.Core < 0 || a.Core >= e.plat.NumCores() {
 			return fmt.Errorf("sim: policy started unknown core %d", a.Core)
 		}
+		e.flushAccount(a.Core)
 		e.plat.SetPowered(a.Core, true, e.fseMapped(a.Core))
 		if e.rec != nil {
 			e.rec.AddEvent(e.now, "start", "core%d restarted", a.Core+1)

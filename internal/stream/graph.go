@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"thermbal/internal/task"
 )
@@ -28,18 +29,25 @@ type Graph struct {
 }
 
 // Source paces frames into the head queue at a fixed real-time rate
-// (the digitalised PCM radio samples of the SDR benchmark).
+// (the digitalised PCM radio samples of the SDR benchmark). Emission
+// times are derived as base + attempt*period rather than accumulated,
+// so the schedule carries no floating-point drift over long runs.
 type Source struct {
 	queue   int
 	period  float64
-	nextAt  float64
-	nextID  int64
+	base    float64 // time of emission 0, set when pacing starts
+	next    int64   // emissions attempted so far (pushed or dropped)
 	started bool
 
 	// Emitted counts frames pushed; Dropped counts frames lost to a
 	// full head queue (input overrun).
 	Emitted int64
 	Dropped int64
+}
+
+// nextEmissionAt is the scheduled time of the next emission attempt.
+func (s *Source) nextEmissionAt() float64 {
+	return s.base + float64(s.next)*s.period
 }
 
 // Sink drains the tail queue on a deadline schedule: one frame must be
@@ -51,7 +59,8 @@ type Sink struct {
 	period  float64
 	prefill int
 	playing bool
-	nextAt  float64
+	base    float64 // time playback started; deadline k is base+(k+1)*period
+	fired   int64   // deadlines elapsed since playback started
 
 	// Consumed counts frames played; Misses counts deadlines with an
 	// empty queue.
@@ -60,6 +69,12 @@ type Sink struct {
 	// LatencySum accumulates (consume time - frame creation) for mean
 	// pipeline latency.
 	LatencySum float64
+}
+
+// nextDeadlineAt is the next deadline, derived from the deadline count
+// so the schedule carries no floating-point drift.
+func (k *Sink) nextDeadlineAt() float64 {
+	return k.base + float64(k.fired+1)*k.period
 }
 
 // NewGraph returns an empty graph.
@@ -266,17 +281,16 @@ func (g *Graph) AdvanceSource(now float64) {
 	s := &g.source
 	if !s.started {
 		s.started = true
-		s.nextAt = now
+		s.base = now
 	}
-	for now >= s.nextAt-1e-12 {
-		f := Frame{ID: s.nextID, Created: s.nextAt}
+	for now >= s.nextEmissionAt()-1e-12 {
+		f := Frame{ID: s.next, Created: s.nextEmissionAt()}
 		if g.queues[s.queue].Push(f) {
 			s.Emitted++
 		} else {
 			s.Dropped++
 		}
-		s.nextID++
-		s.nextAt += s.period
+		s.next++
 	}
 }
 
@@ -287,19 +301,44 @@ func (g *Graph) AdvanceSink(now float64) {
 	if !k.playing {
 		if q.Len() >= k.prefill {
 			k.playing = true
-			k.nextAt = now + k.period
+			k.base = now
 		}
 		return
 	}
-	for now >= k.nextAt-1e-12 {
+	for now >= k.nextDeadlineAt()-1e-12 {
 		if f, ok := q.Pop(); ok {
 			k.Consumed++
-			k.LatencySum += k.nextAt - f.Created
+			k.LatencySum += k.nextDeadlineAt() - f.Created
 		} else {
 			k.Misses++
 		}
-		k.nextAt += k.period
+		k.fired++
 	}
+}
+
+// NextSourceEmissionAt returns the absolute time of the next source
+// emission, for the engine's event horizon. Before pacing has started
+// the source emits on the very next advance, reported as -Inf.
+func (g *Graph) NextSourceEmissionAt() float64 {
+	if !g.source.started {
+		return math.Inf(-1)
+	}
+	return g.source.nextEmissionAt()
+}
+
+// NextSinkDeadlineAt returns the absolute time of the next sink
+// deadline. A sink still prefilling returns +Inf (its queue only
+// changes at other events); a sink about to start playback returns
+// -Inf (imminent).
+func (g *Graph) NextSinkDeadlineAt() float64 {
+	k := &g.sink
+	if !k.playing {
+		if g.queues[k.queue].Len() >= k.prefill {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	return k.nextDeadlineAt()
 }
 
 // SourceStats returns a copy of the source counters.
@@ -314,9 +353,9 @@ func (g *Graph) ResetStreamState() {
 	for _, q := range g.queues {
 		q.Reset()
 	}
-	g.source.nextAt, g.source.nextID, g.source.started = 0, 0, false
+	g.source.base, g.source.next, g.source.started = 0, 0, false
 	g.source.Emitted, g.source.Dropped = 0, 0
-	g.sink.playing, g.sink.nextAt = false, 0
+	g.sink.playing, g.sink.base, g.sink.fired = false, 0, 0
 	g.sink.Consumed, g.sink.Misses, g.sink.LatencySum = 0, 0, 0
 	for i, t := range g.tasks {
 		t.InFlight = false

@@ -395,3 +395,58 @@ func TestInputsOutputsAccessors(t *testing.T) {
 		t.Errorf("SUM inputs = %d, want 3 (join)", got)
 	}
 }
+
+// The source/sink schedules are derived from counts, not accumulated, so
+// after millions of periods the next event time is still exactly
+// base + n*period (the accumulating form had drifted by whole frames).
+func TestScheduleDriftFree(t *testing.T) {
+	g := MustBuildSDR(SDRConfig{})
+	const period = DefaultFramePeriod
+	g.AdvanceSource(0) // starts the schedule, emits frame 0
+	const n = 2_000_000
+	// Jump far ahead: every due emission fires (the head queue overruns,
+	// which only increments Dropped).
+	g.AdvanceSource(float64(n) * period)
+	src := g.SourceStats()
+	attempts := src.Emitted + src.Dropped
+	if attempts != n+1 {
+		t.Fatalf("attempts = %d, want %d", attempts, n+1)
+	}
+	if got, want := g.NextSourceEmissionAt(), float64(n+1)*period; got != want {
+		t.Errorf("NextSourceEmissionAt = %x, want exactly %x", got, want)
+	}
+}
+
+func TestNextEventQueries(t *testing.T) {
+	g := MustBuildSDR(SDRConfig{})
+	if !math.IsInf(g.NextSourceEmissionAt(), -1) {
+		t.Error("unstarted source not imminent")
+	}
+	if !math.IsInf(g.NextSinkDeadlineAt(), 1) {
+		t.Error("prefilling sink reported a deadline")
+	}
+	g.AdvanceSource(0)
+	if got, want := g.NextSourceEmissionAt(), DefaultFramePeriod; got != want {
+		t.Errorf("next emission = %v, want %v", got, want)
+	}
+	// Fill the sink queue to the prefill threshold: playback is imminent.
+	qi, ok := g.QueueIndex("q:sum-sink")
+	if !ok {
+		t.Fatal("sink queue missing")
+	}
+	for i := 0; g.Queue(qi).Len() < DefaultQueueCap/2+1; i++ {
+		g.Queue(qi).Push(Frame{ID: int64(i)})
+	}
+	if !math.IsInf(g.NextSinkDeadlineAt(), -1) {
+		t.Error("prefilled sink not imminent")
+	}
+	g.AdvanceSink(1.0) // playback starts at 1.0
+	if got, want := g.NextSinkDeadlineAt(), 1.0+DefaultFramePeriod; got != want {
+		t.Errorf("next deadline = %v, want %v", got, want)
+	}
+	// Consume one deadline; the next derives from the fired count.
+	g.AdvanceSink(1.0 + DefaultFramePeriod)
+	if got, want := g.NextSinkDeadlineAt(), 1.0+2*DefaultFramePeriod; got != want {
+		t.Errorf("deadline after one fire = %v, want %v", got, want)
+	}
+}

@@ -28,25 +28,46 @@ type Event struct {
 }
 
 // Recorder buffers samples and events. The zero value records nothing;
-// construct with New. A MaxSamples cap guards memory on long runs.
+// construct with New. MaxSamples and MaxEvents caps guard memory on
+// long runs — a thrashing policy can emit events far faster than the
+// sensor period, so both buffers are bounded.
 type Recorder struct {
-	cores      int
-	samples    []Sample
-	events     []Event
-	maxSamples int
-	dropped    int
+	cores         int
+	samples       []Sample
+	events        []Event
+	maxSamples    int
+	maxEvents     int
+	dropped       int
+	droppedEvents int
 }
 
 // DefaultMaxSamples bounds the sample buffer (at the 10 ms sensor period
 // this is ~55 minutes of simulated time).
 const DefaultMaxSamples = 1 << 18
 
-// New creates a recorder for n cores. maxSamples <= 0 takes the default.
+// DefaultMaxEvents bounds the event buffer. Events are far rarer than
+// samples in a healthy run (a few per second of simulated time during
+// balancing), so a smaller default still covers hours; a policy that
+// thrashes hits the cap instead of exhausting memory.
+const DefaultMaxEvents = 1 << 16
+
+// New creates a recorder for n cores. maxSamples <= 0 takes the
+// default; the event cap starts at DefaultMaxEvents (SetMaxEvents
+// overrides it).
 func New(n, maxSamples int) *Recorder {
 	if maxSamples <= 0 {
 		maxSamples = DefaultMaxSamples
 	}
-	return &Recorder{cores: n, maxSamples: maxSamples}
+	return &Recorder{cores: n, maxSamples: maxSamples, maxEvents: DefaultMaxEvents}
+}
+
+// SetMaxEvents overrides the event-buffer cap (non-positive restores
+// the default).
+func (r *Recorder) SetMaxEvents(max int) {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	r.maxEvents = max
 }
 
 // AddSample appends a timeline row (copying the slices).
@@ -64,8 +85,13 @@ func (r *Recorder) AddSample(s Sample) {
 	r.samples = append(r.samples, cp)
 }
 
-// AddEvent appends a discrete event.
+// AddEvent appends a discrete event, mirroring AddSample's cap: events
+// beyond MaxEvents are counted as dropped instead of buffered.
 func (r *Recorder) AddEvent(t float64, kind, format string, args ...any) {
+	if len(r.events) >= r.maxEvents {
+		r.droppedEvents++
+		return
+	}
 	r.events = append(r.events, Event{Time: t, Kind: kind, Text: fmt.Sprintf(format, args...)})
 }
 
@@ -78,6 +104,9 @@ func (r *Recorder) Events() []Event { return r.events }
 
 // Dropped returns how many samples were discarded at the cap.
 func (r *Recorder) Dropped() int { return r.dropped }
+
+// DroppedEvents returns how many events were discarded at the cap.
+func (r *Recorder) DroppedEvents() int { return r.droppedEvents }
 
 // WriteCSV renders the timeline: time, temp per core, freq (MHz) per
 // core, and power per core when recorded.

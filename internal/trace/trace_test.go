@@ -121,3 +121,43 @@ func TestParseCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+// AddEvent must honor the MaxEvents cap and count drops, mirroring the
+// sample cap (unbounded event growth leaked memory on long runs under
+// thrashing policies).
+func TestEventCap(t *testing.T) {
+	r := New(1, 4)
+	r.SetMaxEvents(3)
+	for i := 0; i < 10; i++ {
+		r.AddEvent(float64(i), "migrate-req", "event %d", i)
+	}
+	if len(r.Events()) != 3 {
+		t.Errorf("events buffered = %d, want 3", len(r.Events()))
+	}
+	if r.DroppedEvents() != 7 {
+		t.Errorf("dropped events = %d, want 7", r.DroppedEvents())
+	}
+	if r.Events()[2].Text != "event 2" {
+		t.Errorf("kept wrong events: last = %q", r.Events()[2].Text)
+	}
+	// Samples are unaffected by the event cap.
+	r.AddSample(Sample{Time: 1, Temp: []float64{40}, Freq: []float64{1}})
+	if len(r.Samples()) != 1 || r.Dropped() != 0 {
+		t.Errorf("samples %d dropped %d", len(r.Samples()), r.Dropped())
+	}
+}
+
+func TestEventCapDefaults(t *testing.T) {
+	r := New(1, 0)
+	r.AddEvent(0, "k", "x")
+	if len(r.Events()) != 1 {
+		t.Fatal("default-capped recorder rejected first event")
+	}
+	r.SetMaxEvents(0) // restores the default
+	for i := 0; i < 10; i++ {
+		r.AddEvent(float64(i), "k", "y")
+	}
+	if r.DroppedEvents() != 0 {
+		t.Errorf("dropped %d under default cap", r.DroppedEvents())
+	}
+}
