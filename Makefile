@@ -6,9 +6,9 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check test race bench bench-smoke bench-thermal bench-json bench-diff clean
+.PHONY: check build vet fmt-check test race serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff clean
 
-check: fmt-check vet build race bench-smoke
+check: fmt-check vet build race bench-smoke smoke-serve
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Long-running simulation server (SERVE_ADDR=127.0.0.1:0 for an
+# ephemeral port; ^C shuts it down gracefully).
+SERVE_ADDR ?= :8080
+
+serve:
+	$(GO) run ./cmd/thermservd -addr $(SERVE_ADDR)
+
+# End-to-end server self-check: thermservd starts on an ephemeral
+# port, exercises /scenarios and a cached-vs-fresh /run pair over real
+# TCP, verifies the bodies are byte-identical and the /stats counters
+# agree, and shuts down cleanly.
+smoke-serve:
+	$(GO) run ./cmd/thermservd -smoke
 
 # Wall-clock comparison of the serial vs parallel experiment runner.
 bench:

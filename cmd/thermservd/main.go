@@ -1,0 +1,220 @@
+// Command thermservd serves thermal-balancing simulations over
+// HTTP/JSON: a long-running job server with a content-addressed result
+// cache and request coalescing on top of the deterministic experiment
+// engine (see internal/service).
+//
+// Usage:
+//
+//	thermservd                       # serve on :8080
+//	thermservd -addr 127.0.0.1:0     # ephemeral port (printed on start)
+//	thermservd -cache 2048 -job-workers 4 -queue-depth 128
+//	thermservd -smoke                # self-check: start on an ephemeral
+//	                                 # port, exercise /scenarios and a
+//	                                 # cached-vs-fresh /run pair, shut
+//	                                 # down cleanly; exit 0/1
+//
+// Endpoints: GET /scenarios, GET /policies, POST /run, POST /matrix,
+// POST/GET /jobs, GET|DELETE /jobs/{id}, GET /stats, GET /healthz.
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"thermbal/internal/policy"
+	"thermbal/internal/scenario"
+	"thermbal/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("thermservd: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		cacheSize  = flag.Int("cache", 0, "result-cache capacity in bodies (default 512)")
+		jobWorkers = flag.Int("job-workers", 0, "async job workers (default GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 0, "pending-job queue bound (default 64)")
+		jobRetain  = flag.Int("job-retention", 0, "finished jobs kept pollable before pruning (default 256)")
+		workers    = flag.Int("workers", 0, "experiment worker pool for /matrix sweeps (default GOMAXPROCS)")
+		maxSims    = flag.Int("max-sims", 0, "concurrent simulation executions across all endpoints (default 2xGOMAXPROCS)")
+		maxSync    = flag.Float64("max-sync", 0, "max simulated seconds a synchronous /run accepts (default 600)")
+		smoke      = flag.Bool("smoke", false, "run the self-check against an ephemeral instance and exit")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		CacheEntries: *cacheSize,
+		JobWorkers:   *jobWorkers,
+		QueueDepth:   *queueDepth,
+		JobRetention: *jobRetain,
+		MaxSims:      *maxSims,
+		MaxSyncSimS:  *maxSync,
+	}
+	cfg.Runner.Workers = *workers
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		log.Print("smoke: PASS")
+		return
+	}
+
+	svc := service.New(cfg)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", hostURL(ln.Addr()))
+	log.Printf("serving %d scenarios x %d policies (GET /scenarios, /policies; POST /run, /matrix, /jobs)",
+		len(scenario.Names()), len(policy.Names()))
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+// hostURL renders a listener address as something curl-able
+// (":8080" and unspecified hosts become localhost).
+func hostURL(a net.Addr) string {
+	s := a.String()
+	if host, port, err := net.SplitHostPort(s); err == nil {
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			return net.JoinHostPort("localhost", port)
+		}
+	}
+	return s
+}
+
+// runSmoke is the CI self-check: a real instance on an ephemeral port,
+// driven over real TCP — the catalogue endpoint, then a cold /run, a
+// cached rerun that must be byte-identical, and the stats counters —
+// followed by a clean shutdown.
+func runSmoke(cfg service.Config) error {
+	svc := service.New(cfg)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	log.Printf("smoke: serving on %s", base)
+
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b, nil
+	}
+	post := func(path, body string) ([]byte, string, error) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b, resp.Header.Get("X-Cache"), nil
+	}
+
+	b, err := get("/scenarios")
+	if err != nil {
+		return err
+	}
+	var scDoc struct {
+		Scenarios []scenario.Info `json:"scenarios"`
+	}
+	if err := json.Unmarshal(b, &scDoc); err != nil {
+		return fmt.Errorf("decode /scenarios: %w", err)
+	}
+	if len(scDoc.Scenarios) == 0 {
+		return fmt.Errorf("/scenarios returned an empty catalogue")
+	}
+	log.Printf("smoke: /scenarios ok (%d scenarios)", len(scDoc.Scenarios))
+
+	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
+	cold, state, err := post("/run", run)
+	if err != nil {
+		return err
+	}
+	if state != "miss" {
+		return fmt.Errorf("cold /run X-Cache = %q, want miss", state)
+	}
+	cached, state, err := post("/run", run)
+	if err != nil {
+		return err
+	}
+	if state != "hit" {
+		return fmt.Errorf("second /run X-Cache = %q, want hit", state)
+	}
+	if !bytes.Equal(cold, cached) {
+		return fmt.Errorf("cached /run body differs from the cold run")
+	}
+	log.Printf("smoke: /run cold-vs-cached ok (%d bytes, byte-identical)", len(cold))
+
+	b, err = get("/stats")
+	if err != nil {
+		return err
+	}
+	var stats service.StatsDoc
+	if err := json.Unmarshal(b, &stats); err != nil {
+		return fmt.Errorf("decode /stats: %w", err)
+	}
+	if stats.Executions != 1 || stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		return fmt.Errorf("/stats counters = executions %d, hits %d, misses %d; want 1, 1, 1",
+			stats.Executions, stats.Cache.Hits, stats.Cache.Misses)
+	}
+	log.Printf("smoke: /stats ok (executions %d, hits %d, misses %d)", stats.Executions, stats.Cache.Hits, stats.Cache.Misses)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Print("smoke: clean shutdown")
+	return nil
+}

@@ -13,6 +13,7 @@
 //	thermsim -matrix -scenario sdr-radio,fanout-w4 -policy eb,tb
 //	thermsim -policy stop-go -delta 2 -package highperf -measure 30
 //	thermsim -policy thermal-balance -trace run.csv -events ev.csv
+//	thermsim -policy tb -delta 3 -json      # the service's /run document
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"thermbal/internal/cliutil"
 	"thermbal/internal/experiment"
 	"thermbal/internal/migrate"
+	"thermbal/internal/service"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func main() {
 		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
 		workers    = flag.Int("workers", 0, "worker pool size for -policy all / -matrix (default GOMAXPROCS)")
 		noFastPath = flag.Bool("no-fastpath", false, "disable the engine's event-horizon fast path (results are bit-for-bit identical; for A/B validation)")
+		jsonOut    = flag.Bool("json", false, "emit the run as the versioned JSON schema document the service serves (single run only)")
 		traceOut   = flag.String("trace", "", "write the temperature/frequency timeline CSV to this file")
 		eventsOut  = flag.String("events", "", "write the event log CSV to this file")
 	)
@@ -73,11 +76,53 @@ func main() {
 		if *traceOut != "" || *eventsOut != "" {
 			log.Fatal("-trace/-events require a single run, not -matrix")
 		}
+		if *jsonOut {
+			log.Fatal("-json requires a single run, not -matrix")
+		}
 		mech := migrate.Replication
 		if *recreate {
 			mech = migrate.Recreation
 		}
 		runMatrix(opt, *scenarioFl, *policyName, *delta, pkg, *warmup, *measure, *queueCap, mech)
+		return
+	}
+
+	if *jsonOut {
+		// One encoder, two consumers: the run goes through the same
+		// canonicalization and schema document as the service's /run
+		// endpoint, so for equal configurations the emitted bytes equal
+		// the server's response body.
+		if *policyName == "all" {
+			log.Fatal("-json requires a single policy")
+		}
+		if *traceOut != "" || *eventsOut != "" {
+			log.Fatal("-json cannot be combined with -trace/-events")
+		}
+		mech := ""
+		if *recreate {
+			mech = "task-recreation"
+		}
+		canon, rc, err := service.Canonicalize(service.Request{
+			Scenario: *scenarioFl, Policy: *policyName, Delta: *delta,
+			Package: *pkgName, WarmupS: *warmup, MeasureS: *measure,
+			QueueCap: *queueCap, Mechanism: mech, Integrator: *integrator,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The fast-path switch is execution-only: results are
+		// bit-for-bit identical either way, so it is not part of the
+		// request identity and A/B runs emit the same document.
+		rc.NoFastPath = *noFastPath
+		res, _, err := experiment.Run(rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := service.EncodeDoc(service.NewRunDoc(canon, res))
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(body)
 		return
 	}
 

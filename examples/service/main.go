@@ -1,0 +1,136 @@
+// service is a client for the thermservd simulation server: discover
+// the catalogue, run one simulation twice to show the content-addressed
+// cache (the second response is served from the LRU, byte-identical to
+// the cold run), fire concurrent identical requests to show coalescing,
+// and read the /stats counters.
+//
+// Start a server, then point the client at it:
+//
+//	go run ./cmd/thermservd -addr 127.0.0.1:8080 &
+//	go run ./examples/service -addr 127.0.0.1:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// The wire shapes, mirroring the server's versioned schema (see
+// internal/service and the README's "Serving simulations" section).
+type runRequest struct {
+	Scenario string  `json:"scenario,omitempty"`
+	Policy   string  `json:"policy,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+	WarmupS  float64 `json:"warmup_s,omitempty"`
+	MeasureS float64 `json:"measure_s,omitempty"`
+}
+
+type runDoc struct {
+	SchemaVersion int    `json:"schema_version"`
+	Key           string `json:"key"`
+	Result        struct {
+		Policy      string `json:"policy"`
+		Temperature struct {
+			PooledStdDevC float64 `json:"pooled_stddev_c"`
+		} `json:"temperature"`
+		QoS struct {
+			DeadlineMisses int64 `json:"deadline_misses"`
+		} `json:"qos"`
+		Migration struct {
+			PerSec float64 `json:"per_sec"`
+		} `json:"migration"`
+	} `json:"result"`
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:8080", "thermservd address")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// Catalogue discovery.
+	var catalogue struct {
+		Scenarios []struct {
+			Name     string `json:"name"`
+			Topology string `json:"topology"`
+		} `json:"scenarios"`
+	}
+	mustGet(base+"/scenarios", &catalogue)
+	fmt.Printf("%d scenarios served, e.g. %s (%s)\n",
+		len(catalogue.Scenarios), catalogue.Scenarios[0].Name, catalogue.Scenarios[0].Topology)
+
+	// A cold run, then the same request again: the second response
+	// comes from the content-addressed cache, byte-identical.
+	req, _ := json.Marshal(runRequest{Policy: "tb", Delta: 3, WarmupS: 2, MeasureS: 5})
+	cold, state1 := post(base+"/run", req)
+	cached, state2 := post(base+"/run", req)
+	var doc runDoc
+	if err := json.Unmarshal(cold, &doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run %s: std %.3f °C, %d misses, %.2f migrations/s\n",
+		doc.Result.Policy, doc.Result.Temperature.PooledStdDevC,
+		doc.Result.QoS.DeadlineMisses, doc.Result.Migration.PerSec)
+	fmt.Printf("cache: %s then %s, byte-identical=%v, key=%s…\n",
+		state1, state2, bytes.Equal(cold, cached), doc.Key[:12])
+
+	// Concurrent identical requests coalesce onto one execution.
+	other, _ := json.Marshal(runRequest{Policy: "stop-go", Delta: 4, WarmupS: 2, MeasureS: 5})
+	var wg sync.WaitGroup
+	states := make([]string, 8)
+	for i := range states {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, states[i] = post(base+"/run", other)
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("8 concurrent identical runs: %s\n", strings.Join(states, " "))
+
+	var stats struct {
+		Executions int64 `json:"executions"`
+		Coalesced  int64 `json:"coalesced"`
+		Cache      struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	mustGet(base+"/stats", &stats)
+	fmt.Printf("stats: %d executions, %d coalesced, %d hits / %d misses\n",
+		stats.Executions, stats.Coalesced, stats.Cache.Hits, stats.Cache.Misses)
+}
+
+func mustGet(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func post(url string, body []byte) ([]byte, string) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return b, resp.Header.Get("X-Cache")
+}

@@ -19,21 +19,93 @@ import (
 	"thermbal/internal/thermal"
 )
 
+// Suggest returns the candidate closest to name in edit distance, or
+// "" when nothing is close enough to be a plausible typo. The
+// threshold scales with the input length so short names only match
+// near-exact spellings. Ties go to the lexicographically first
+// candidate, keeping the suggestion deterministic.
+func Suggest(name string, candidates []string) string {
+	max := 1 + len(name)/4
+	best, bestDist := "", max+1
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	for _, c := range sorted {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// unknownNameError builds the error for an unresolvable name: the
+// did-you-mean suggestion when one was found ("" for none), always
+// followed by the sorted known-name list.
+func unknownNameError(kind, name, suggestion string, known []string) error {
+	plural := kind + "s"
+	if strings.HasSuffix(kind, "y") {
+		plural = strings.TrimSuffix(kind, "y") + "ies"
+	}
+	sorted := append([]string(nil), known...)
+	sort.Strings(sorted)
+	if suggestion != "" {
+		return fmt.Errorf("unknown %s %q (did you mean %q?; known %s: %s)",
+			kind, name, suggestion, plural, strings.Join(sorted, ", "))
+	}
+	return fmt.Errorf("unknown %s %q (known %s: %s)",
+		kind, name, plural, strings.Join(sorted, ", "))
+}
+
 // ResolveScenario resolves a -scenario flag value to a registered
-// scenario. An empty value selects the paper's SDR benchmark.
+// scenario. An empty value selects the paper's SDR benchmark; unknown
+// names get a did-you-mean suggestion plus the full catalogue.
 func ResolveScenario(name string) (scenario.Scenario, error) {
 	if name == "" {
 		name = scenario.DefaultName
 	}
-	return scenario.Lookup(name)
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		return scenario.Scenario{}, unknownNameError("scenario", name, Suggest(name, scenario.Names()), scenario.Names())
+	}
+	return sc, nil
 }
 
 // ResolvePolicy resolves a -policy flag value (canonical name or alias)
-// to the canonical registered name.
+// to the canonical registered name. Unknown names get a did-you-mean
+// suggestion (matched against canonical names and aliases, reported as
+// the canonical name) plus the registered-name list.
 func ResolvePolicy(name string) (string, error) {
 	canon, ok := policy.Canonical(name)
 	if !ok {
-		return "", fmt.Errorf("unknown policy %q (registered: %s)", name, strings.Join(policy.Names(), ", "))
+		spellings := policy.Names()
+		for _, e := range policy.Entries() {
+			spellings = append(spellings, e.Aliases...)
+		}
+		s := Suggest(name, spellings)
+		if c, ok := policy.Canonical(s); ok {
+			s = c
+		}
+		return "", unknownNameError("policy", name, s, policy.Names())
 	}
 	return canon, nil
 }

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -112,5 +113,63 @@ func TestListText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("ListText missing %q", want)
 		}
+	}
+}
+
+// TestSuggest covers the did-you-mean helper directly.
+func TestSuggest(t *testing.T) {
+	known := []string{"sdr-radio", "video-decoder", "pipeline-d8", "pipeline-d16"}
+	for name, want := range map[string]string{
+		"sdr-raido":    "sdr-radio",   // transposition
+		"pipeline-d9":  "pipeline-d8", // substitution
+		"video-decode": "video-decoder",
+		"zzzz":         "", // nothing plausible
+	} {
+		if got := Suggest(name, known); got != want {
+			t.Errorf("Suggest(%q) = %q, want %q", name, got, want)
+		}
+	}
+	// Ties resolve to the lexicographically first candidate.
+	if got := Suggest("pipeline-d", []string{"pipeline-dz", "pipeline-da"}); got != "pipeline-da" {
+		t.Errorf("tie broke to %q, want pipeline-da", got)
+	}
+}
+
+// TestUnknownNameErrors checks the full error shape: a did-you-mean
+// suggestion when plausible, always the sorted known-name list.
+func TestUnknownNameErrors(t *testing.T) {
+	_, err := ResolveScenario("sdr-raido")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "sdr-radio"?`) {
+		t.Errorf("scenario typo error = %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "known scenarios:") {
+		t.Errorf("scenario error missing catalogue: %v", err)
+	}
+	// The catalogue must be sorted.
+	if err != nil {
+		listing := err.Error()[strings.Index(err.Error(), "known scenarios:"):]
+		names := strings.Split(strings.TrimSuffix(strings.TrimPrefix(listing, "known scenarios: "), ")"), ", ")
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("catalogue not sorted: %v", names)
+		}
+	}
+
+	// Alias typos suggest the canonical name.
+	_, err = ResolvePolicy("migr")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "thermal-balance"?`) {
+		t.Errorf("policy alias typo error = %v", err)
+	}
+	_, err = ResolvePolicy("qqqq")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off policy still suggested: %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "known policies:") {
+		t.Errorf("policy error missing list: %v", err)
+	}
+
+	// The comma-list resolvers inherit the suggestion.
+	_, err = ResolveScenarios("sdr-radio,video-decodr")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "video-decoder"?`) {
+		t.Errorf("ResolveScenarios typo error = %v", err)
 	}
 }

@@ -85,6 +85,29 @@ const (
 // thresholds from the mean temperature, in °C.
 var Deltas = []float64{2, 3, 4, 5}
 
+// Phases resolves a run's warmup/measure phases: explicit values where
+// positive, else the scenario's defaults, else the paper's. The one
+// cascade shared by Run, the service's request canonicalization (the
+// cache identity) and the sync-endpoint simulated-time bounds — so
+// what is keyed, what is bounded and what executes can never diverge.
+func Phases(sc scenario.Scenario, warmupS, measureS float64) (float64, float64) {
+	if warmupS <= 0 {
+		if sc.WarmupS > 0 {
+			warmupS = sc.WarmupS
+		} else {
+			warmupS = DefaultWarmupS
+		}
+	}
+	if measureS <= 0 {
+		if sc.MeasureS > 0 {
+			measureS = sc.MeasureS
+		} else {
+			measureS = DefaultMeasureS
+		}
+	}
+	return warmupS, measureS
+}
+
 // RunConfig fully describes one simulation run.
 type RunConfig struct {
 	Policy    PolicySel
@@ -172,12 +195,7 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 	}
 	// Scenario-specific default phases (many-core scenarios use shorter
 	// windows); the paper defaults apply where the scenario sets none.
-	if rc.WarmupS <= 0 && sc.WarmupS > 0 {
-		rc.WarmupS = sc.WarmupS
-	}
-	if rc.MeasureS <= 0 && sc.MeasureS > 0 {
-		rc.MeasureS = sc.MeasureS
-	}
+	rc.WarmupS, rc.MeasureS = Phases(sc, rc.WarmupS, rc.MeasureS)
 	rc.fill()
 	inst, err := sc.Instantiate(scenario.Options{
 		QueueCap: rc.QueueCap,

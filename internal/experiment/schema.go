@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"thermbal/internal/metrics"
+	"thermbal/internal/sim"
+)
+
+// The versioned JSON result schema. One run summary has one wire shape,
+// shared by every consumer — the simulation service's /run and /matrix
+// responses, async job results, and `thermsim -json` — so a cached
+// service response, a fresh run, and the CLI all emit byte-identical
+// documents for the same configuration. Field names are stable:
+// breaking changes (renames, removals, semantic changes) require
+// bumping SchemaVersion; purely additive fields do not.
+
+// SchemaVersion is the current version of the JSON result schema.
+const SchemaVersion = 1
+
+// QoSSummary is the deadline/throughput block (Figures 8/10).
+type QoSSummary struct {
+	// DeadlineMisses within the measurement window.
+	DeadlineMisses int64 `json:"deadline_misses"`
+	// FramesConsumed by the sink within the window.
+	FramesConsumed int64 `json:"frames_consumed"`
+	// MissRatePct = misses / deadlines, percent.
+	MissRatePct float64 `json:"miss_rate_pct"`
+	// SourceDropped counts frames the source dropped on full queues.
+	SourceDropped int64 `json:"source_dropped"`
+	// MinQueueHeadroom is the smallest spare queue capacity seen.
+	MinQueueHeadroom int `json:"min_queue_headroom"`
+}
+
+// MigrationSummary is the migration-overhead block (Figure 11).
+type MigrationSummary struct {
+	// Count of completed migrations within the window.
+	Count int `json:"count"`
+	// PerSec is Figure 11's migrations-per-second rate.
+	PerSec float64 `json:"per_sec"`
+	// Bytes moved by migrations within the window.
+	Bytes float64 `json:"bytes"`
+	// BytesPerSec is the paper's KB/s overhead figure, in bytes.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	// MeanFreezeS is the mean per-migration task freeze, seconds.
+	MeanFreezeS float64 `json:"mean_freeze_s"`
+}
+
+// PowerSummary is the energy/actuation block.
+type PowerSummary struct {
+	// TotalEnergyJ is the platform energy over the whole run.
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	// DVFSSwitches counts frequency changes.
+	DVFSSwitches int `json:"dvfs_switches"`
+	// OverThresholdS is the total time any core spent above
+	// mean+delta.
+	OverThresholdS float64 `json:"over_threshold_s"`
+}
+
+// Summary is the versioned JSON view of one run's sim.Result: the
+// paper's Section 5 statistics grouped into wire-stable blocks.
+type Summary struct {
+	// Policy is the canonical name of the policy that ran.
+	Policy string `json:"policy"`
+	// MeasuredS is the length of the measurement window, seconds.
+	MeasuredS float64 `json:"measured_s"`
+	// Temperature is the spatial/temporal variance block.
+	Temperature metrics.TempSummary `json:"temperature"`
+	// QoS is the deadline-miss block.
+	QoS QoSSummary `json:"qos"`
+	// Migration is the migration-overhead block.
+	Migration MigrationSummary `json:"migration"`
+	// Power is the energy/actuation block.
+	Power PowerSummary `json:"power"`
+}
+
+// Summarize builds the schema view of a run result.
+func Summarize(r sim.Result) Summary {
+	return Summary{
+		Policy:    r.PolicyName,
+		MeasuredS: r.MeasuredS,
+		Temperature: metrics.TempSummary{
+			PooledStdDevC:   r.PooledStdDev,
+			SpatialStdDevC:  r.SpatialStdDev,
+			TemporalStdDevC: r.MeanTemporalStdDev,
+			MeanGradientC:   r.MeanGradient,
+			MaxC:            r.MaxTemp,
+		},
+		QoS: QoSSummary{
+			DeadlineMisses:   r.DeadlineMisses,
+			FramesConsumed:   r.FramesConsumed,
+			MissRatePct:      r.MissRatePct,
+			SourceDropped:    r.SourceDropped,
+			MinQueueHeadroom: r.MinQueueHeadroom,
+		},
+		Migration: MigrationSummary{
+			Count:       r.Migrations,
+			PerSec:      r.MigrationsPerSec,
+			Bytes:       r.MigratedBytes,
+			BytesPerSec: r.BytesPerSec,
+			MeanFreezeS: r.MeanFreezeS,
+		},
+		Power: PowerSummary{
+			TotalEnergyJ:   r.TotalEnergyJ,
+			DVFSSwitches:   r.DVFSSwitches,
+			OverThresholdS: r.OverThresholdS,
+		},
+	}
+}

@@ -1,0 +1,20 @@
+package metrics
+
+// TempSummary is the JSON block for the paper's Section 5 temperature
+// statistics. It is part of the versioned result schema the simulation
+// service and `thermsim -json` emit (see internal/experiment/schema.go),
+// so field names are wire-stable: rename only with a schema-version
+// bump.
+type TempSummary struct {
+	// PooledStdDevC is the headline Figure 7/9 metric: the standard
+	// deviation over every (core, time) sample.
+	PooledStdDevC float64 `json:"pooled_stddev_c"`
+	// SpatialStdDevC is the time-averaged across-core deviation.
+	SpatialStdDevC float64 `json:"spatial_stddev_c"`
+	// TemporalStdDevC averages the per-core temporal deviations.
+	TemporalStdDevC float64 `json:"temporal_stddev_c"`
+	// MeanGradientC is the time-averaged hottest-coldest spread.
+	MeanGradientC float64 `json:"mean_gradient_c"`
+	// MaxC is the hottest sample on any core.
+	MaxC float64 `json:"max_c"`
+}

@@ -35,14 +35,16 @@ type Args struct {
 // trigger state.
 type Factory func(Args) (Policy, error)
 
-// Entry describes one registered policy for discovery listings.
+// Entry describes one registered policy for discovery listings. It is
+// also the JSON shape the simulation service's /policies endpoint
+// serves, so the field names are wire-stable.
 type Entry struct {
 	// Name is the canonical registered name.
-	Name string
+	Name string `json:"name"`
 	// Description is a one-line summary for -list output.
-	Description string
+	Description string `json:"description"`
 	// Aliases are accepted alternative spellings.
-	Aliases []string
+	Aliases []string `json:"aliases,omitempty"`
 }
 
 var reg = struct {
@@ -135,12 +137,15 @@ func Names() []string {
 	return out
 }
 
-// Entries returns the registered entries sorted by name.
+// Entries returns the registered entries sorted by name, each with its
+// aliases sorted, so listings and JSON encodings are deterministic.
 func Entries() []Entry {
 	reg.RLock()
 	defer reg.RUnlock()
 	out := make([]Entry, 0, len(reg.entries))
 	for _, e := range reg.entries {
+		e.Aliases = append([]string(nil), e.Aliases...)
+		sort.Strings(e.Aliases)
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

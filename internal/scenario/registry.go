@@ -61,6 +61,48 @@ func namesLocked() []string {
 	return out
 }
 
+// Info is the JSON-able catalogue entry for one scenario, served by
+// the simulation service's /scenarios endpoint and stable on the wire.
+// WarmupS/MeasureS of 0 mean "the paper defaults" (chosen by the
+// experiment layer).
+type Info struct {
+	Name          string  `json:"name"`
+	Description   string  `json:"description"`
+	Topology      string  `json:"topology"`
+	Cores         int     `json:"cores"`
+	Tasks         int     `json:"tasks"`
+	WarmupS       float64 `json:"warmup_s"`
+	MeasureS      float64 `json:"measure_s"`
+	DefaultPolicy string  `json:"default_policy"`
+	DefaultDelta  float64 `json:"default_delta"`
+}
+
+// Info returns the catalogue entry for the scenario.
+func (s Scenario) Info() Info {
+	return Info{
+		Name:          s.Name,
+		Description:   s.Description,
+		Topology:      s.Topology,
+		Cores:         s.Cores,
+		Tasks:         s.Tasks,
+		WarmupS:       s.WarmupS,
+		MeasureS:      s.MeasureS,
+		DefaultPolicy: s.DefaultPolicy,
+		DefaultDelta:  s.DefaultDelta,
+	}
+}
+
+// Infos returns the catalogue entries of every registered scenario,
+// sorted by name.
+func Infos() []Info {
+	all := All()
+	out := make([]Info, len(all))
+	for i, s := range all {
+		out[i] = s.Info()
+	}
+	return out
+}
+
 // All returns every registered scenario sorted by name.
 func All() []Scenario {
 	reg.RLock()

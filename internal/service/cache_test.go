@@ -1,0 +1,46 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLRUCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	if body, ok := c.Get("a"); !ok || !bytes.Equal(body, []byte("A")) {
+		t.Errorf("a = %q, %v", body, ok)
+	}
+	if body, ok := c.Get("c"); !ok || !bytes.Equal(body, []byte("C")) {
+		t.Errorf("c = %q, %v", body, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUCacheRefreshExistingKey(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	c.Add("a", []byte("A2")) // refresh, no growth
+	c.Add("c", []byte("C"))  // evicts b, not a
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; refresh did not update recency")
+	}
+	if body, ok := c.Get("a"); !ok || string(body) != "A2" {
+		t.Errorf("a = %q, %v", body, ok)
+	}
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent executions of the same key
+// (singleflight): the first caller executes fn, every concurrent
+// caller with the same key waits for that execution and shares its
+// result, so N identical in-flight requests cost one simulation.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced uint64 // total waiters served by another caller's run
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Do returns the body for key, executing fn at most once across all
+// concurrent callers of the key. fn runs in its own goroutine,
+// detached from any single caller's context: one client disconnecting
+// neither starves the coalesced others nor discards the result. ctx
+// bounds only how long this caller waits. shared reports whether this
+// caller attached to an execution another caller started.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.body, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.body, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	select {
+	case <-c.done:
+		return c.body, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// counts snapshots the in-flight call count and the cumulative
+// coalesced-waiter count.
+func (g *flightGroup) counts() (inflight int, coalesced uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls), g.coalesced
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"thermbal/internal/experiment"
+	"thermbal/internal/policy"
+	"thermbal/internal/scenario"
+)
+
+// maxBodyBytes bounds request bodies; simulation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP API. All responses are JSON; schema
+// documents go through EncodeDoc so cached, coalesced and fresh
+// responses for the same canonical request are byte-identical.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /policies", s.handlePolicies)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /matrix", s.handleMatrix)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	return mux
+}
+
+// writeJSON marshals v through the shared encoder.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := EncodeDoc(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeBody writes a pre-encoded schema document with its cache state.
+func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.Write(body)
+}
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+// decodeJSON reads one JSON value; an empty body decodes to the zero
+// value so `curl -X POST .../run` with no payload runs the defaults.
+// Decoding is strict — unknown fields, trailing data and oversized
+// bodies are all rejected: on a content-addressed cache a silently
+// dropped misspelled key ("polcy", "measure") or truncated byte would
+// run — and cache — a different simulation than the client intended.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("unexpected data after the request object")
+	}
+	return nil
+}
+
+// writeRequestError maps a decodeJSON failure to its status: 413 for
+// an over-limit body, 400 otherwise.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// scenariosDoc is the /scenarios response.
+type scenariosDoc struct {
+	SchemaVersion int             `json:"schema_version"`
+	Scenarios     []scenario.Info `json:"scenarios"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scenariosDoc{
+		SchemaVersion: experiment.SchemaVersion,
+		Scenarios:     scenario.Infos(),
+	})
+}
+
+// policiesDoc is the /policies response.
+type policiesDoc struct {
+	SchemaVersion int            `json:"schema_version"`
+	Policies      []policy.Entry `json:"policies"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, policiesDoc{
+		SchemaVersion: experiment.SchemaVersion,
+		Policies:      policy.Entries(),
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	canon, rc, err := Canonicalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if sim := canon.WarmupS + canon.MeasureS; sim > s.cfg.MaxSyncSimS {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%.0f simulated seconds exceeds the synchronous limit of %.0f; submit it to /jobs instead", sim, s.cfg.MaxSyncSimS))
+		return
+	}
+	// The request context cancels on client disconnect: this waiter
+	// aborts, while the execution itself is detached so coalesced
+	// requests and the cache still get the result.
+	body, cacheState, err := s.executeRun(r.Context(), canon, rc)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nobody to answer
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, body, cacheState)
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	canon, mc, err := CanonicalizeMatrix(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The sync endpoint is bounded like /run, but over the whole cross
+	// product: a bare full-catalogue sweep must go through /jobs.
+	if sim := canon.simSeconds(); sim > s.cfg.MaxSyncSimS {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%.0f simulated seconds across %d cells exceeds the synchronous limit of %.0f; submit it to /jobs instead",
+				sim, len(canon.Scenarios)*len(canon.Policies), s.cfg.MaxSyncSimS))
+		return
+	}
+	opt := canon.thermal()
+	opt.Runner = s.cfg.Runner
+	body, cacheState, err := s.executeMatrix(r.Context(), canon, mc, opt)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBody(w, body, cacheState)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var jr JobRequest
+	if err := decodeJSON(w, r, &jr); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	j, err := s.jobs.submit(jr)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.jobs.status(j))
+}
+
+// jobsDoc is the /jobs listing.
+type jobsDoc struct {
+	SchemaVersion int         `json:"schema_version"`
+	Jobs          []JobStatus `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	doc := jobsDoc{SchemaVersion: experiment.SchemaVersion, Jobs: make([]JobStatus, len(jobs))}
+	for i, j := range jobs {
+		st := s.jobs.status(j)
+		st.Result = nil // result bodies only on /jobs/{id}
+		doc.Jobs[i] = st
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok, cancelled := s.jobs.cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if !cancelled {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; only pending jobs can be cancelled", j.id, j.state))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(j))
+}

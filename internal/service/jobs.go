@@ -1,0 +1,321 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"thermbal/internal/experiment"
+)
+
+// JobState enumerates a job's lifecycle. Pending jobs sit in the
+// bounded queue and are the only cancellable state: once a job is
+// running its execution is atomic (DELETE returns 409).
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobRequest is the wire body of POST /jobs: one run or one matrix
+// sweep. Kind defaults to "matrix" when only the matrix block is set,
+// "run" otherwise (an entirely empty body is a valid default run).
+type JobRequest struct {
+	Kind   string         `json:"kind"`
+	Run    *Request       `json:"run,omitempty"`
+	Matrix *MatrixRequest `json:"matrix,omitempty"`
+}
+
+// JobStatus is the wire view of one job. Result is embedded once the
+// job is done and is byte-identical to the synchronous response for
+// the same canonical request (both come out of the shared cache).
+type JobStatus struct {
+	SchemaVersion int      `json:"schema_version"`
+	ID            string   `json:"id"`
+	Kind          string   `json:"kind"`
+	State         JobState `json:"state"`
+	// Key is the content address of the canonical request.
+	Key string `json:"key"`
+	// Run / Matrix is the canonical request (one of the two, by Kind).
+	Run    *Request       `json:"run,omitempty"`
+	Matrix *MatrixRequest `json:"matrix,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	// SubmittedAt / StartedAt / FinishedAt are wall-clock stamps.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Result is the schema document, present when State is "done".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobStats is the /stats job block.
+type JobStats struct {
+	Workers   int `json:"workers"`
+	QueueCap  int `json:"queue_cap"`
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// job is the manager-internal record; its mutable fields are guarded
+// by the owning jobManager's mutex.
+type job struct {
+	id   string
+	kind string
+	key  string
+
+	run    *Request
+	matrix *MatrixRequest
+	rc     experiment.RunConfig
+	mc     experiment.MatrixConfig
+
+	state     JobState
+	errText   string
+	body      []byte
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{} // closed when the job reaches a final state
+}
+
+// jobManager owns the job table and the bounded pending queue.
+type jobManager struct {
+	mu     sync.Mutex
+	byID   map[string]*job
+	order  []*job
+	queue  chan *job
+	seq    int
+	retain int // finished jobs kept for polling; older ones are pruned
+}
+
+func (m *jobManager) init(queueDepth, retain int) {
+	m.byID = map[string]*job{}
+	m.queue = make(chan *job, queueDepth)
+	m.retain = retain
+}
+
+// pruneLocked drops the oldest finished jobs beyond the retention
+// bound so the long-running server's job table (and the result bodies
+// it holds) stays bounded like the result cache. Pending and running
+// jobs are never pruned. Callers hold m.mu.
+func (m *jobManager) pruneLocked() {
+	finished := 0
+	for _, j := range m.order {
+		if j.state != JobPending && j.state != JobRunning {
+			finished++
+		}
+	}
+	if finished <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if finished > m.retain && j.state != JobPending && j.state != JobRunning {
+			delete(m.byID, j.id)
+			finished--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Zero the freed tail so pruned jobs are collectable.
+	for i := len(kept); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = kept
+}
+
+// submit canonicalizes jr, registers the job and enqueues it; a full
+// queue rejects with errQueueFull before anything is registered.
+func (m *jobManager) submit(jr JobRequest) (*job, error) {
+	kind := jr.Kind
+	if kind == "" {
+		if jr.Matrix != nil && jr.Run == nil {
+			kind = "matrix"
+		} else {
+			kind = "run"
+		}
+	}
+	j := &job{kind: kind, state: JobPending, submitted: time.Now(), done: make(chan struct{})}
+	switch kind {
+	case "run":
+		var req Request
+		if jr.Run != nil {
+			req = *jr.Run
+		}
+		canon, rc, err := Canonicalize(req)
+		if err != nil {
+			return nil, err
+		}
+		j.run, j.rc, j.key = &canon, rc, canon.Key()
+	case "matrix":
+		var req MatrixRequest
+		if jr.Matrix != nil {
+			req = *jr.Matrix
+		}
+		canon, mc, err := CanonicalizeMatrix(req)
+		if err != nil {
+			return nil, err
+		}
+		j.matrix, j.mc, j.key = &canon, mc, canon.Key()
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (run | matrix)", kind)
+	}
+	m.mu.Lock()
+	m.seq++
+	j.id = "j" + strconv.Itoa(m.seq)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return nil, errQueueFull
+	}
+	m.byID[j.id] = j
+	m.order = append(m.order, j)
+	m.mu.Unlock()
+	return j, nil
+}
+
+// get returns the job by id.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	return j, ok
+}
+
+// list returns the jobs in submission order.
+func (m *jobManager) list() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*job(nil), m.order...)
+}
+
+// claim transitions a queued job to running; it reports false when the
+// job was cancelled while pending.
+func (m *jobManager) claim(j *job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state != JobPending {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records a job's outcome.
+func (m *jobManager) finish(j *job, body []byte, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err != nil:
+		j.state = JobFailed
+		j.errText = err.Error()
+	default:
+		j.state = JobDone
+		j.body = body
+	}
+	close(j.done)
+	m.pruneLocked()
+}
+
+// cancel cancels a pending job. Running jobs cannot be interrupted
+// (the engine is atomic per run); finished jobs are immutable. It
+// returns the job's state after the attempt and whether the cancel
+// took effect.
+func (m *jobManager) cancel(id string) (*job, bool, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return nil, false, false
+	}
+	if j.state != JobPending {
+		return j, true, false
+	}
+	j.state = JobCancelled
+	j.errText = "cancelled before start"
+	j.finished = time.Now()
+	close(j.done)
+	m.pruneLocked()
+	return j, true, true
+}
+
+// status snapshots a job's wire view.
+func (m *jobManager) status(j *job) JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStatus{
+		SchemaVersion: experiment.SchemaVersion,
+		ID:            j.id,
+		Kind:          j.kind,
+		State:         j.state,
+		Key:           j.key,
+		Run:           j.run,
+		Matrix:        j.matrix,
+		Error:         j.errText,
+		SubmittedAt:   j.submitted,
+		StartedAt:     j.started,
+		FinishedAt:    j.finished,
+	}
+	if j.state == JobDone {
+		st.Result = json.RawMessage(j.body)
+	}
+	return st
+}
+
+// stats counts jobs by state.
+func (m *jobManager) stats(workers int) JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js := JobStats{Workers: workers, QueueCap: cap(m.queue)}
+	for _, j := range m.order {
+		switch j.state {
+		case JobPending:
+			js.Pending++
+		case JobRunning:
+			js.Running++
+		case JobDone:
+			js.Done++
+		case JobFailed:
+			js.Failed++
+		case JobCancelled:
+			js.Cancelled++
+		}
+	}
+	return js
+}
+
+// jobWorker drains the pending queue until the server closes.
+func (s *Server) jobWorker() {
+	for {
+		select {
+		case <-s.base.Done():
+			return
+		case j := <-s.jobs.queue:
+			if !s.jobs.claim(j) {
+				continue // cancelled while queued
+			}
+			var body []byte
+			var err error
+			switch j.kind {
+			case "matrix":
+				opt := j.matrix.thermal()
+				opt.Runner = s.cfg.Runner
+				body, _, err = s.executeMatrix(s.base, *j.matrix, j.mc, opt)
+			default:
+				body, _, err = s.executeRun(s.base, *j.run, j.rc)
+			}
+			s.jobs.finish(j, body, err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package service is the simulation-serving layer: a long-running
+// HTTP/JSON job server over the deterministic experiment engine.
+//
+// The design leans entirely on the engine's bit-for-bit determinism
+// (the integer-tick clock and event-horizon fast path): because the
+// same fully-resolved configuration always produces the same bytes,
+// results are content-addressed. Every request is canonicalized —
+// aliases resolved, defaults filled — and hashed into a stable cache
+// key; responses are stored as fully-encoded bodies in a bounded LRU,
+// so a cache hit is byte-identical to the cold run that populated it.
+// Identical in-flight requests are coalesced singleflight-style: N
+// concurrent identical requests execute the simulation once and all
+// receive the same body.
+//
+// Endpoints: /scenarios and /policies (registry catalogues), /run
+// (synchronous, small jobs), /matrix (batched scenarios × policies
+// sweep), /jobs + /jobs/{id} (bounded async queue: submit, poll,
+// cancel), /stats (cache/coalescing/job counters) and /healthz.
+// cmd/thermservd is the binary; `thermsim -json` emits the same
+// versioned result schema through the same encoder.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"thermbal/internal/experiment"
+	"thermbal/internal/sim"
+)
+
+// Config parameterises a Server. The zero value is ready to use.
+type Config struct {
+	// CacheEntries bounds the result cache (default 512 bodies).
+	CacheEntries int
+	// JobWorkers bounds concurrently executing async jobs
+	// (default GOMAXPROCS).
+	JobWorkers int
+	// QueueDepth bounds submitted-but-not-started jobs; a full queue
+	// rejects submissions with 503 (default 64).
+	QueueDepth int
+	// JobRetention bounds how many finished (done/failed/cancelled)
+	// jobs stay pollable; older ones are pruned with their result
+	// bodies so the job table cannot grow without bound (default 256).
+	JobRetention int
+	// MaxSims bounds single-run simulations executing concurrently
+	// across the sync endpoints and the job workers (default
+	// 2×GOMAXPROCS). Detached sync executions are otherwise unbounded
+	// in number — every distinct canonical config starts one — so
+	// without a cap a burst of distinct requests could exhaust the
+	// machine; beyond the cap, executions queue for a slot. Matrix
+	// sweeps are bounded separately: they execute one at a time (each
+	// already saturates its own Runner pool), so total engine
+	// concurrency is at most MaxSims + Runner workers.
+	MaxSims int
+	// Runner is the worker pool /matrix sweeps and matrix jobs run on
+	// (zero value: GOMAXPROCS workers).
+	Runner experiment.Runner
+	// MaxSyncSimS bounds the simulated seconds (warmup + measure) a
+	// synchronous /run accepts; longer runs must go through the async
+	// /jobs queue (default 600).
+	MaxSyncSimS float64
+
+	// runSim / runMatrix substitute the execution seams. In-package
+	// tests inject blocking or counting stubs here — before New spawns
+	// any goroutine, so no synchronization is needed — to observe
+	// coalescing deterministically. nil selects the real engine.
+	runSim    func(rc experiment.RunConfig) (sim.Result, error)
+	runMatrix func(ctx context.Context, mc experiment.MatrixConfig, opt experiment.Options) ([]experiment.MatrixCell, error)
+}
+
+func (c Config) fill() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 256
+	}
+	if c.MaxSims <= 0 {
+		c.MaxSims = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSyncSimS <= 0 {
+		c.MaxSyncSimS = 600
+	}
+	return c
+}
+
+// Server executes canonicalized simulation requests behind a
+// content-addressed cache, an in-flight coalescing layer and a bounded
+// async job queue. Create with New, expose with Handler, stop with
+// Close.
+type Server struct {
+	cfg       Config
+	cache     *lruCache
+	flight    flightGroup
+	jobs      jobManager
+	slots     chan struct{} // single-run execution slots, cap MaxSims
+	sweepSlot chan struct{} // matrix executions, serialized (cap 1)
+	base      context.Context
+	stop      context.CancelFunc
+	start     time.Time
+
+	// executions counts actual engine runs (one per coalesced group;
+	// cache hits execute nothing).
+	executions atomic.Int64
+
+	// runSim / runMatrix are the execution seams; tests substitute
+	// them to observe or control execution counts deterministically.
+	runSim    func(rc experiment.RunConfig) (sim.Result, error)
+	runMatrix func(ctx context.Context, mc experiment.MatrixConfig, opt experiment.Options) ([]experiment.MatrixCell, error)
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.fill()
+	s := &Server{
+		cfg:       cfg,
+		cache:     newLRUCache(cfg.CacheEntries),
+		slots:     make(chan struct{}, cfg.MaxSims),
+		sweepSlot: make(chan struct{}, 1),
+		start:     time.Now(),
+		runSim:    cfg.runSim,
+		runMatrix: cfg.runMatrix,
+	}
+	if s.runSim == nil {
+		s.runSim = func(rc experiment.RunConfig) (sim.Result, error) {
+			res, _, err := experiment.Run(rc)
+			return res, err
+		}
+	}
+	if s.runMatrix == nil {
+		s.runMatrix = func(ctx context.Context, mc experiment.MatrixConfig, opt experiment.Options) ([]experiment.MatrixCell, error) {
+			return experiment.MatrixWith(ctx, opt, mc)
+		}
+	}
+	s.base, s.stop = context.WithCancel(context.Background())
+	s.jobs.init(cfg.QueueDepth, cfg.JobRetention)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		go s.jobWorker()
+	}
+	return s
+}
+
+// Close stops the job workers and abandons queued jobs. In-flight
+// simulations run to completion (they are not interruptible) but no
+// new job starts.
+func (s *Server) Close() { s.stop() }
+
+// execute serves one canonical request's encoded body: cache first,
+// then the coalescing layer, then build — an actual engine execution
+// plus encoding — whose result is cached under key. slot is the
+// admission-control semaphore the execution must hold: only cap(slot)
+// executions of its class run at once; the rest hold their (cheap,
+// detached) goroutine until a slot frees. Distinct keys only —
+// identical requests are coalesced and never queue twice. The
+// returned cache state is "hit", "miss" (this caller executed) or
+// "coalesced" (another caller's execution was shared). ctx bounds
+// only this caller's wait: the execution itself is detached, so one
+// disconnecting client neither starves the coalesced others nor
+// wastes the result — it still lands in the cache.
+func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, build func() ([]byte, error)) ([]byte, string, error) {
+	if body, ok := s.cache.Get(key); ok {
+		return body, "hit", nil
+	}
+	body, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+		// Re-check under the flight: a previous leader for this key may
+		// have cached the body between our lookup and becoming leader,
+		// and the engine run is far too expensive to duplicate.
+		if body, ok := s.cache.peek(key); ok {
+			return body, nil
+		}
+		slot <- struct{}{}
+		defer func() { <-slot }()
+		s.executions.Add(1)
+		body, err := build()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Add(key, body)
+		return body, nil
+	})
+	state := "miss"
+	if shared {
+		state = "coalesced"
+	}
+	return body, state, err
+}
+
+// executeRun serves one canonical run request on the MaxSims slots.
+func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.RunConfig) ([]byte, string, error) {
+	return s.execute(ctx, canon.Key(), s.slots, func() ([]byte, error) {
+		res, err := s.runSim(rc)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeDoc(NewRunDoc(canon, res))
+	})
+}
+
+// executeMatrix serves one canonical scenarios × policies sweep. The
+// sweep runs under the server's base context (detached from any one
+// caller, cancelled on Close) across the configured Runner pool; it
+// holds the dedicated sweep slot, not a MaxSims one — a sweep fans out
+// over its whole pool, so running them one at a time keeps total
+// engine concurrency bounded by MaxSims + Runner workers.
+func (s *Server) executeMatrix(ctx context.Context, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options) ([]byte, string, error) {
+	return s.execute(ctx, canon.Key(), s.sweepSlot, func() ([]byte, error) {
+		cells, err := s.runMatrix(s.base, mc, opt)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeDoc(NewMatrixDoc(canon, cells))
+	})
+}
+
+// StatsDoc is the /stats response: the cache, coalescing and job
+// counters.
+type StatsDoc struct {
+	SchemaVersion int `json:"schema_version"`
+	// UptimeS is the seconds since the server was created.
+	UptimeS float64 `json:"uptime_s"`
+	// Executions counts actual engine runs (cache hits and coalesced
+	// waiters execute nothing).
+	Executions int64 `json:"executions"`
+	// Inflight is the number of distinct executions running (or
+	// waiting for an execution slot) right now.
+	Inflight int `json:"inflight"`
+	// MaxSims is the concurrent-execution cap Inflight queues behind.
+	MaxSims int `json:"max_sims"`
+	// Coalesced is the total number of requests served by waiting on
+	// another request's identical in-flight execution.
+	Coalesced uint64 `json:"coalesced"`
+	// Cache holds the result-cache counters. Misses count lookups that
+	// fell through to the execution/coalescing layer, so a coalesced
+	// request counts one miss and no execution.
+	Cache CacheStats `json:"cache"`
+	// Jobs holds the async-queue counters.
+	Jobs JobStats `json:"jobs"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() StatsDoc {
+	inflight, coalesced := s.flight.counts()
+	return StatsDoc{
+		SchemaVersion: experiment.SchemaVersion,
+		UptimeS:       time.Since(s.start).Seconds(),
+		Executions:    s.executions.Load(),
+		Inflight:      inflight,
+		MaxSims:       s.cfg.MaxSims,
+		Coalesced:     coalesced,
+		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.stats(s.cfg.JobWorkers),
+	}
+}
+
+var errQueueFull = fmt.Errorf("job queue full; retry later")

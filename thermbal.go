@@ -150,6 +150,31 @@ type Config struct {
 // deviation, QoS (deadline misses) and migration overhead.
 type Result = sim.Result
 
+// SchemaVersion is the version of the JSON result schema shared by
+// the simulation service (cmd/thermservd), `thermsim -json` and
+// Summarize. Breaking field changes bump it; additions do not.
+const SchemaVersion = experiment.SchemaVersion
+
+// Summary is the versioned JSON view of a Result: the paper's
+// Section 5 statistics (spatial/temporal temperature variance,
+// deadline misses, migration counts, energy) grouped into wire-stable
+// blocks with stable field names.
+type Summary = experiment.Summary
+
+// Summarize converts a Result into the versioned JSON schema view.
+func Summarize(r Result) Summary { return experiment.Summarize(r) }
+
+// RunSummary executes one experiment and returns its result in the
+// versioned JSON schema — the same document body the simulation
+// service caches and serves.
+func RunSummary(cfg Config) (Summary, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summarize(res), nil
+}
+
 // Run executes one experiment.
 func Run(cfg Config) (Result, error) {
 	mech := migrate.Replication

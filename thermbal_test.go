@@ -1,6 +1,7 @@
 package thermbal
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -87,5 +88,43 @@ func TestFigure2Renders(t *testing.T) {
 	}
 	if !strings.Contains(f2, "task-recreation") {
 		t.Errorf("Figure2:\n%s", f2)
+	}
+}
+
+func TestRunSummarySchema(t *testing.T) {
+	sum, err := RunSummary(Config{
+		Policy:   ThermalBalance,
+		Delta:    3,
+		WarmupS:  0.5,
+		MeasureS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Policy != "thermal-balance" || sum.MeasuredS != 1 {
+		t.Errorf("summary header = %q, %g", sum.Policy, sum.MeasuredS)
+	}
+	if sum.Temperature.PooledStdDevC <= 0 {
+		t.Error("no pooled deviation in summary")
+	}
+	// The summary is a pure view: it must agree with Run's raw result.
+	res, err := Run(Config{Policy: ThermalBalance, Delta: 3, WarmupS: 0.5, MeasureS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Summarize(res); got != sum {
+		t.Errorf("Summarize(Run()) = %+v, want %+v (determinism or view mismatch)", got, sum)
+	}
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"pooled_stddev_c"`, `"deadline_misses"`, `"per_sec"`, `"total_energy_j"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("schema JSON missing %s: %s", field, b)
+		}
+	}
+	if SchemaVersion != 1 {
+		t.Errorf("SchemaVersion = %d", SchemaVersion)
 	}
 }
