@@ -1,6 +1,6 @@
 // Command benchdiff compares two bench2json documents and fails when
 // any benchmark matching a name filter regressed beyond a threshold.
-// `make bench-diff` uses it to compare a fresh run against the latest
+// `make bench-diff` uses it to compare a fresh run against the newest
 // committed BENCH_<date>.json, so Sweep-benchmark regressions surface
 // in CI instead of silently accumulating.
 //
@@ -8,6 +8,14 @@
 //
 //	benchdiff -base BENCH_2026-07-29.json -new fresh.json \
 //	          -match 'BenchmarkSweep' -max-regress 0.15
+//	benchdiff -base "$(git ls-files 'BENCH_*.json' | paste -sd, -)" \
+//	          -new fresh.json
+//
+// -base accepts one document or a comma/whitespace-separated list of
+// candidates; the baseline is the candidate with the newest `date`
+// field. Selecting by the recorded date rather than by filename means
+// a same-day follow-up point (BENCH_2026-07-29_2.json) is never
+// shadowed by its older sibling's lexically-equal date prefix.
 //
 // Exit status 1 means at least one matched benchmark regressed by more
 // than the threshold; missing counterparts are reported but do not
@@ -21,6 +29,8 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"strings"
+	"time"
 
 	"thermbal/internal/benchparse"
 )
@@ -58,24 +68,78 @@ func load(path string) (document, error) {
 	return doc, nil
 }
 
+// docDate parses a document's recorded date. bench2json stamps
+// RFC3339; a document without a parseable date sorts oldest so it can
+// never shadow a properly stamped one.
+func docDate(doc document) time.Time {
+	t, err := time.Parse(time.RFC3339, doc.Date)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// pickBaseline loads every candidate path and returns the one whose
+// `date` field is newest (ties keep the later-listed candidate, so a
+// fully unstamped set still degrades to "last one named"). A candidate
+// that fails to load is warned about and skipped — one legacy or
+// malformed committed point must not break the gate while a good
+// newest baseline exists; only an empty surviving set is an error.
+func pickBaseline(paths []string) (document, string, error) {
+	var (
+		best     document
+		bestPath string
+		bestTime time.Time
+		found    bool
+		loadErrs []error
+	)
+	for _, path := range paths {
+		doc, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping baseline candidate: %v\n", err)
+			loadErrs = append(loadErrs, err)
+			continue
+		}
+		when := docDate(doc)
+		if !found || !when.Before(bestTime) {
+			best, bestPath, bestTime, found = doc, path, when, true
+		}
+	}
+	if !found {
+		if len(loadErrs) > 0 {
+			return document{}, "", fmt.Errorf("no loadable baseline candidate (first error: %w)", loadErrs[0])
+		}
+		return document{}, "", fmt.Errorf("no baseline candidates")
+	}
+	return best, bestPath, nil
+}
+
+// splitBases splits the -base flag value on commas and whitespace.
+func splitBases(spec string) []string {
+	return strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	})
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	var (
-		basePath   = flag.String("base", "", "baseline bench2json document")
+		baseSpec   = flag.String("base", "", "baseline bench2json document, or a comma/whitespace-separated candidate list (newest `date` wins)")
 		newPath    = flag.String("new", "", "fresh bench2json document")
 		match      = flag.String("match", ".", "regexp selecting benchmark names to gate on")
 		maxRegress = flag.Float64("max-regress", 0.15, "maximum allowed ns/op increase as a fraction of the baseline")
 	)
 	flag.Parse()
-	if *basePath == "" || *newPath == "" {
+	basePaths := splitBases(*baseSpec)
+	if len(basePaths) == 0 || *newPath == "" {
 		log.Fatal("both -base and -new are required")
 	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
 		log.Fatalf("bad -match: %v", err)
 	}
-	base, err := load(*basePath)
+	base, basePath, err := pickBaseline(basePaths)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +152,11 @@ func main() {
 	for _, b := range base.Benchmarks {
 		baseline[stripProcs(b.Name)] = b.NsPerOp
 	}
-	fmt.Printf("baseline %s (%s)\n", *basePath, base.Date)
+	if len(basePaths) > 1 {
+		fmt.Printf("baseline %s (%s), newest of %d candidates\n", basePath, base.Date, len(basePaths))
+	} else {
+		fmt.Printf("baseline %s (%s)\n", basePath, base.Date)
+	}
 	regressed := 0
 	compared := 0
 	for _, b := range fresh.Benchmarks {

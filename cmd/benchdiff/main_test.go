@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, date string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	body := `{"date":"` + date + `","benchmarks":[{"name":"BenchmarkSweepSerial","iterations":1,"ns_per_op":100}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPickBaselineNewestByDate is the regression test for same-day
+// trajectory points: BENCH_2026-07-29_2.json carries a later recorded
+// date than BENCH_2026-07-29.json and must win regardless of the
+// order the candidates are listed in.
+func TestPickBaselineNewestByDate(t *testing.T) {
+	dir := t.TempDir()
+	older := writeDoc(t, dir, "BENCH_2026-07-29.json", "2026-07-29T17:37:39Z")
+	newer := writeDoc(t, dir, "BENCH_2026-07-29_2.json", "2026-07-29T18:45:14Z")
+	for _, paths := range [][]string{
+		{older, newer},
+		{newer, older},
+	} {
+		_, got, err := pickBaseline(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != newer {
+			t.Errorf("pickBaseline(%v) chose %s, want %s", paths, got, newer)
+		}
+	}
+}
+
+func TestPickBaselineUnstampedSortsOldest(t *testing.T) {
+	dir := t.TempDir()
+	stamped := writeDoc(t, dir, "stamped.json", "2026-07-29T00:00:00Z")
+	unstamped := writeDoc(t, dir, "unstamped.json", "not-a-date")
+	_, got, err := pickBaseline([]string{unstamped, stamped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stamped {
+		t.Errorf("unstamped candidate shadowed the stamped one (%s)", got)
+	}
+	// An all-unstamped set still resolves (last named wins).
+	_, got, err = pickBaseline([]string{unstamped})
+	if err != nil || got != unstamped {
+		t.Errorf("single unstamped candidate: %s, %v", got, err)
+	}
+}
+
+func TestSplitBases(t *testing.T) {
+	got := splitBases("a.json,b.json c.json\nd.json,")
+	want := []string{"a.json", "b.json", "c.json", "d.json"}
+	if len(got) != len(want) {
+		t.Fatalf("splitBases = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitBases[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPickBaselineSkipsUnloadableCandidates(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", "2026-07-29T00:00:00Z")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := pickBaseline([]string{bad, good})
+	if err != nil || got != good {
+		t.Errorf("one bad candidate broke selection: %s, %v", got, err)
+	}
+	if _, _, err := pickBaseline([]string{bad}); err == nil {
+		t.Error("all-unloadable candidate set must error")
+	}
+}

@@ -1,17 +1,22 @@
 // Command thermservd serves thermal-balancing simulations over
 // HTTP/JSON: a long-running job server with a content-addressed result
-// cache and request coalescing on top of the deterministic experiment
-// engine (see internal/service).
+// cache, request coalescing and an optional durable result store on
+// top of the deterministic experiment engine (see internal/service and
+// internal/store).
 //
 // Usage:
 //
-//	thermservd                       # serve on :8080
+//	thermservd                       # serve on :8080, memory-only
+//	thermservd -data-dir /var/lib/thermbal
+//	                                 # durable store: results survive
+//	                                 # restarts, sweeps resume
 //	thermservd -addr 127.0.0.1:0     # ephemeral port (printed on start)
 //	thermservd -cache 2048 -job-workers 4 -queue-depth 128
 //	thermservd -smoke                # self-check: start on an ephemeral
-//	                                 # port, exercise /scenarios and a
-//	                                 # cached-vs-fresh /run pair, shut
-//	                                 # down cleanly; exit 0/1
+//	                                 # port, exercise /scenarios, a
+//	                                 # cached-vs-fresh /run pair and a
+//	                                 # kill + restart-and-rehit pass on
+//	                                 # a durable store; exit 0/1
 //
 // Endpoints: GET /scenarios, GET /policies, POST /run, POST /matrix,
 // POST/GET /jobs, GET|DELETE /jobs/{id}, GET /stats, GET /healthz.
@@ -37,6 +42,7 @@ import (
 	"thermbal/internal/policy"
 	"thermbal/internal/scenario"
 	"thermbal/internal/service"
+	"thermbal/internal/store"
 )
 
 func main() {
@@ -52,6 +58,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "experiment worker pool for /matrix sweeps (default GOMAXPROCS)")
 		maxSims    = flag.Int("max-sims", 0, "concurrent simulation executions across all endpoints (default 2xGOMAXPROCS)")
 		maxSync    = flag.Float64("max-sync", 0, "max simulated seconds a synchronous /run accepts (default 600)")
+		dataDir    = flag.String("data-dir", "", "durable result-store directory (empty: memory-only; results and job resumability are lost on restart)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk store size budget in bytes; exceeding it compacts the log and evicts the oldest results (default 256 MiB)")
 		smoke      = flag.Bool("smoke", false, "run the self-check against an ephemeral instance and exit")
 	)
 	flag.Parse()
@@ -72,6 +80,24 @@ func main() {
 		}
 		log.Print("smoke: PASS")
 		return
+	}
+
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			MaxBytes: *storeMax,
+			Pinned:   service.JournalPinned,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		sst := st.Stats()
+		log.Printf("store: %s (%d records, %d segments, %d bytes)", *dataDir, sst.Records, sst.Segments, sst.Bytes)
+		if sst.TailTruncated > 0 || sst.CorruptSegments > 0 {
+			log.Printf("store: recovered from unclean shutdown (%d tail bytes truncated, %d segments with corrupt records)",
+				sst.TailTruncated, sst.CorruptSegments)
+		}
 	}
 
 	svc := service.New(cfg)
@@ -114,54 +140,126 @@ func hostURL(a net.Addr) string {
 	return s
 }
 
-// runSmoke is the CI self-check: a real instance on an ephemeral port,
-// driven over real TCP — the catalogue endpoint, then a cold /run, a
-// cached rerun that must be byte-identical, and the stats counters —
-// followed by a clean shutdown.
-func runSmoke(cfg service.Config) error {
+// smokeInstance is one ephemeral server under smoke test.
+type smokeInstance struct {
+	svc  *service.Server
+	http *http.Server
+	base string
+}
+
+func startInstance(cfg service.Config) (*smokeInstance, error) {
 	svc := service.New(cfg)
-	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	inst := &smokeInstance{
+		svc:  svc,
+		http: &http.Server{Handler: svc.Handler()},
+		base: "http://" + ln.Addr().String(),
+	}
+	go inst.http.Serve(ln)
+	return inst, nil
+}
+
+// shutdown stops the instance gracefully (kill-equivalence for the
+// store comes from never syncing or closing it, which the restart
+// pass arranges separately).
+func (i *smokeInstance) shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := i.http.Shutdown(ctx)
+	i.svc.Close()
+	return err
+}
+
+func (i *smokeInstance) get(path string) ([]byte, error) {
+	resp, err := http.Get(i.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func (i *smokeInstance) post(path, body string) ([]byte, string, error) {
+	resp, err := http.Post(i.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, "", fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, b)
+	}
+	return b, resp.Header.Get("X-Cache"), nil
+}
+
+func (i *smokeInstance) stats() (service.StatsDoc, error) {
+	var stats service.StatsDoc
+	b, err := i.get("/stats")
+	if err != nil {
+		return stats, err
+	}
+	if err := json.Unmarshal(b, &stats); err != nil {
+		return stats, fmt.Errorf("decode /stats: %w", err)
+	}
+	return stats, nil
+}
+
+// waitJob polls /jobs/{id} until the job finishes.
+func (i *smokeInstance) waitJob(id string) (service.JobStatus, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st service.JobStatus
+		b, err := i.get("/jobs/" + id)
+		if err != nil {
+			return st, err
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return st, fmt.Errorf("decode job status: %w", err)
+		}
+		switch st.State {
+		case service.JobDone:
+			return st, nil
+		case service.JobFailed, service.JobCancelled:
+			return st, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// runSmoke is the CI self-check, driven over real TCP against real
+// instances on ephemeral ports: the catalogue endpoint, a cold /run
+// with a byte-identical cached rerun, the stats counters, and then the
+// persistence pass — populate a durable store via /run and a matrix
+// job, stop without closing the store (a SIGKILL leaves exactly those
+// files), restart on the same data dir and verify the re-request is a
+// store hit with identical bytes and that the re-submitted sweep
+// executes nothing.
+func runSmoke(cfg service.Config) error {
+	inst, err := startInstance(cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
-	go httpSrv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	log.Printf("smoke: serving on %s", base)
+	defer inst.svc.Close()
+	log.Printf("smoke: serving on %s", inst.base)
 
-	get := func(path string) ([]byte, error) {
-		resp, err := http.Get(base + path)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, b)
-		}
-		return b, nil
-	}
-	post := func(path, body string) ([]byte, string, error) {
-		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
-		if err != nil {
-			return nil, "", err
-		}
-		defer resp.Body.Close()
-		b, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, "", err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, "", fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, b)
-		}
-		return b, resp.Header.Get("X-Cache"), nil
-	}
-
-	b, err := get("/scenarios")
+	b, err := inst.get("/scenarios")
 	if err != nil {
 		return err
 	}
@@ -177,14 +275,14 @@ func runSmoke(cfg service.Config) error {
 	log.Printf("smoke: /scenarios ok (%d scenarios)", len(scDoc.Scenarios))
 
 	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
-	cold, state, err := post("/run", run)
+	cold, state, err := inst.post("/run", run)
 	if err != nil {
 		return err
 	}
 	if state != "miss" {
 		return fmt.Errorf("cold /run X-Cache = %q, want miss", state)
 	}
-	cached, state, err := post("/run", run)
+	cached, state, err := inst.post("/run", run)
 	if err != nil {
 		return err
 	}
@@ -196,13 +294,9 @@ func runSmoke(cfg service.Config) error {
 	}
 	log.Printf("smoke: /run cold-vs-cached ok (%d bytes, byte-identical)", len(cold))
 
-	b, err = get("/stats")
+	stats, err := inst.stats()
 	if err != nil {
 		return err
-	}
-	var stats service.StatsDoc
-	if err := json.Unmarshal(b, &stats); err != nil {
-		return fmt.Errorf("decode /stats: %w", err)
 	}
 	if stats.Executions != 1 || stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
 		return fmt.Errorf("/stats counters = executions %d, hits %d, misses %d; want 1, 1, 1",
@@ -210,11 +304,120 @@ func runSmoke(cfg service.Config) error {
 	}
 	log.Printf("smoke: /stats ok (executions %d, hits %d, misses %d)", stats.Executions, stats.Cache.Hits, stats.Cache.Misses)
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+	if err := inst.shutdown(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Print("smoke: clean shutdown")
+
+	return smokeRestart(cfg)
+}
+
+// smokeRestart is the restart-and-rehit pass on a throwaway data dir.
+func smokeRestart(cfg service.Config) error {
+	dir, err := os.MkdirTemp("", "thermservd-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	openStore := func() (*store.Store, error) {
+		return store.Open(dir, store.Options{Pinned: service.JournalPinned})
+	}
+
+	// First life: populate the store through /run and a matrix job.
+	st1, err := openStore()
+	if err != nil {
+		return err
+	}
+	cfg1 := cfg
+	cfg1.Store = st1
+	inst, err := startInstance(cfg1)
+	if err != nil {
+		return err
+	}
+	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
+	const sweep = `{"matrix":{"scenarios":["sdr-radio"],"policies":["eb","tb"],"delta":3,"warmup_s":0.5,"measure_s":1}}`
+	cold, state, err := inst.post("/run", run)
+	if err != nil {
+		return err
+	}
+	if state != "miss" {
+		return fmt.Errorf("restart pass: cold /run X-Cache = %q, want miss", state)
+	}
+	b, _, err := inst.post("/jobs", sweep)
+	if err != nil {
+		return err
+	}
+	var submitted service.JobStatus
+	if err := json.Unmarshal(b, &submitted); err != nil {
+		return fmt.Errorf("decode job submit: %w", err)
+	}
+	jobDone, err := inst.waitJob(submitted.ID)
+	if err != nil {
+		return err
+	}
+	if p := jobDone.Progress; p == nil || p.CompletedCells != 2 {
+		return fmt.Errorf("restart pass: sweep progress = %+v, want 2 completed cells", jobDone.Progress)
+	}
+	// Stop the HTTP server but deliberately abandon the store — no
+	// Close, no fsync. The directory now holds exactly what a SIGKILL
+	// would have left behind.
+	if err := inst.shutdown(); err != nil {
+		return fmt.Errorf("restart pass: first shutdown: %w", err)
+	}
+	log.Printf("smoke: store populated (/run + 2-cell sweep), first instance stopped without closing it")
+
+	// Second life: same data dir, fresh everything else.
+	st2, err := openStore()
+	if err != nil {
+		return fmt.Errorf("restart pass: reopen store: %w", err)
+	}
+	defer st2.Close()
+	cfg2 := cfg
+	cfg2.Store = st2
+	inst2, err := startInstance(cfg2)
+	if err != nil {
+		return err
+	}
+	defer inst2.svc.Close()
+	warm, state, err := inst2.post("/run", run)
+	if err != nil {
+		return err
+	}
+	if state != "store" {
+		return fmt.Errorf("restart pass: rehit /run X-Cache = %q, want store", state)
+	}
+	if !bytes.Equal(cold, warm) {
+		return fmt.Errorf("restart pass: rehit body differs from the pre-restart run")
+	}
+	b, _, err = inst2.post("/jobs", sweep)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, &submitted); err != nil {
+		return fmt.Errorf("decode job resubmit: %w", err)
+	}
+	jobDone, err = inst2.waitJob(submitted.ID)
+	if err != nil {
+		return err
+	}
+	if p := jobDone.Progress; p == nil || p.CompletedCells != 2 || p.ExecutedCells != 0 {
+		return fmt.Errorf("restart pass: resubmitted sweep progress = %+v, want 2 completed / 0 executed", jobDone.Progress)
+	}
+	stats, err := inst2.stats()
+	if err != nil {
+		return err
+	}
+	if stats.Executions != 0 {
+		return fmt.Errorf("restart pass: restarted instance executed %d simulations, want 0", stats.Executions)
+	}
+	if stats.Store == nil || stats.Store.Serves == 0 || stats.Store.Records == 0 {
+		return fmt.Errorf("restart pass: store stats = %+v", stats.Store)
+	}
+	log.Printf("smoke: restart-and-rehit ok (store served %d responses, %d records on disk, 0 executions)",
+		stats.Store.Serves, stats.Store.Records)
+	if err := inst2.shutdown(); err != nil {
+		return fmt.Errorf("restart pass: shutdown: %w", err)
+	}
 	return nil
 }

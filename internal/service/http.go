@@ -203,7 +203,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeRequestError(w, err)
 		return
 	}
-	j, err := s.jobs.submit(jr)
+	j, err := s.jobs.submit(jr, false)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			writeError(w, http.StatusServiceUnavailable, err)

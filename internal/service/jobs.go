@@ -1,9 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +36,22 @@ type JobRequest struct {
 	Matrix *MatrixRequest `json:"matrix,omitempty"`
 }
 
+// JobProgress is the per-cell progress of a matrix job: the sweep is
+// decomposed into one task per (scenario, policy) cell, each persisted
+// individually, so a poll shows how far the sweep has advanced and how
+// much of it was already on disk.
+type JobProgress struct {
+	// TotalCells is the size of the scenarios × policies cross product.
+	TotalCells int `json:"total_cells"`
+	// CompletedCells counts cells whose result body is settled.
+	CompletedCells int `json:"completed_cells"`
+	// ExecutedCells counts cells this job actually ran on the engine;
+	// CachedCells counts cells served from the cache, the durable
+	// store (a resumed sweep) or another request's in-flight execution.
+	ExecutedCells int `json:"executed_cells"`
+	CachedCells   int `json:"cached_cells"`
+}
+
 // JobStatus is the wire view of one job. Result is embedded once the
 // job is done and is byte-identical to the synchronous response for
 // the same canonical request (both come out of the shared cache).
@@ -46,6 +66,11 @@ type JobStatus struct {
 	Run    *Request       `json:"run,omitempty"`
 	Matrix *MatrixRequest `json:"matrix,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	// Recovered marks a job re-submitted from the durable job journal
+	// after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// Progress is the per-cell progress (matrix jobs only).
+	Progress *JobProgress `json:"progress,omitempty"`
 	// SubmittedAt / StartedAt / FinishedAt are wall-clock stamps.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
@@ -63,23 +88,37 @@ type JobStats struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// Recovered counts jobs re-submitted from the durable job journal
+	// at startup (also counted in their lifecycle state above).
+	Recovered int `json:"recovered,omitempty"`
+}
+
+// cellTask is one (scenario, policy) cell of a decomposed matrix
+// sweep: a fully canonical run request plus its execution
+// configuration. Its content address (req.Key()) is identical to a
+// direct /run of the same configuration.
+type cellTask struct {
+	req Request
+	rc  experiment.RunConfig
 }
 
 // job is the manager-internal record; its mutable fields are guarded
 // by the owning jobManager's mutex.
 type job struct {
-	id   string
-	kind string
-	key  string
+	id        string
+	kind      string
+	key       string
+	recovered bool
 
 	run    *Request
 	matrix *MatrixRequest
 	rc     experiment.RunConfig
-	mc     experiment.MatrixConfig
+	cells  []cellTask // matrix jobs: the decomposed sweep
 
 	state     JobState
 	errText   string
 	body      []byte
+	progress  JobProgress
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -88,18 +127,53 @@ type job struct {
 
 // jobManager owns the job table and the bounded pending queue.
 type jobManager struct {
-	mu     sync.Mutex
-	byID   map[string]*job
-	order  []*job
-	queue  chan *job
-	seq    int
-	retain int // finished jobs kept for polling; older ones are pruned
+	mu        sync.Mutex
+	byID      map[string]*job
+	order     []*job
+	queue     chan *job
+	seq       int
+	retain    int // finished jobs kept for polling; older ones are pruned
+	recovered int // jobs re-submitted from the journal at startup; survives pruning
+
+	// journalPut / journalClear persist and tombstone a job's journal
+	// record (nil when the server runs memory-only). Both are invoked
+	// while m.mu is held, which is what keeps the journal consistent
+	// with the job table: a record exists from the moment a job is
+	// accepted until no live job shares its canonical identity — no
+	// window where a fast-finishing job's clear can race its own put,
+	// or where a duplicate's put interleaves with a sibling's clear.
+	// The cost of that guarantee is store I/O under m.mu: while the
+	// store compacts (a whole-log rewrite when it crosses its size
+	// budget), a journal write blocks and the job API stalls with it.
+	// Accepted deliberately — the alternative (async journal writes)
+	// would let an accepted job miss the journal across a crash.
+	journalPut   func(j *job)
+	journalClear func(j *job)
 }
 
 func (m *jobManager) init(queueDepth, retain int) {
 	m.byID = map[string]*job{}
 	m.queue = make(chan *job, queueDepth)
 	m.retain = retain
+}
+
+// maybeClearJournalLocked tombstones j's journal record unless another
+// live job shares it: duplicate submissions of the same canonical
+// request coexist in the job table but have one journal record, and
+// removing it while a duplicate is still pending/running would strip
+// that job's crash recovery. The last of the duplicates to finish (or
+// be cancelled) clears the record. Callers hold m.mu.
+func (m *jobManager) maybeClearJournalLocked(j *job) {
+	if m.journalClear == nil {
+		return
+	}
+	for _, other := range m.order {
+		if other != j && other.kind == j.kind && other.key == j.key &&
+			(other.state == JobPending || other.state == JobRunning) {
+			return
+		}
+	}
+	m.journalClear(j)
 }
 
 // pruneLocked drops the oldest finished jobs beyond the retention
@@ -134,7 +208,9 @@ func (m *jobManager) pruneLocked() {
 
 // submit canonicalizes jr, registers the job and enqueues it; a full
 // queue rejects with errQueueFull before anything is registered.
-func (m *jobManager) submit(jr JobRequest) (*job, error) {
+// Matrix jobs are decomposed at submit time into per-cell run tasks,
+// so every name resolves (or fails) before the job is accepted.
+func (m *jobManager) submit(jr JobRequest, recovered bool) (*job, error) {
 	kind := jr.Kind
 	if kind == "" {
 		if jr.Matrix != nil && jr.Run == nil {
@@ -143,7 +219,7 @@ func (m *jobManager) submit(jr JobRequest) (*job, error) {
 			kind = "run"
 		}
 	}
-	j := &job{kind: kind, state: JobPending, submitted: time.Now(), done: make(chan struct{})}
+	j := &job{kind: kind, recovered: recovered, state: JobPending, submitted: time.Now(), done: make(chan struct{})}
 	switch kind {
 	case "run":
 		var req Request
@@ -160,11 +236,16 @@ func (m *jobManager) submit(jr JobRequest) (*job, error) {
 		if jr.Matrix != nil {
 			req = *jr.Matrix
 		}
-		canon, mc, err := CanonicalizeMatrix(req)
+		canon, _, err := CanonicalizeMatrix(req)
 		if err != nil {
 			return nil, err
 		}
-		j.matrix, j.mc, j.key = &canon, mc, canon.Key()
+		cells, err := matrixCells(canon)
+		if err != nil {
+			return nil, err
+		}
+		j.matrix, j.cells, j.key = &canon, cells, canon.Key()
+		j.progress = JobProgress{TotalCells: len(cells)}
 	default:
 		return nil, fmt.Errorf("unknown job kind %q (run | matrix)", kind)
 	}
@@ -177,8 +258,18 @@ func (m *jobManager) submit(jr JobRequest) (*job, error) {
 		m.mu.Unlock()
 		return nil, errQueueFull
 	}
+	if recovered {
+		m.recovered++
+	}
 	m.byID[j.id] = j
 	m.order = append(m.order, j)
+	// Journaled before m.mu is released: a worker that receives j off
+	// the queue cannot claim — let alone finish — it until this lock is
+	// dropped, so the record always exists by the time any final-state
+	// transition could try to clear it.
+	if m.journalPut != nil {
+		m.journalPut(j)
+	}
 	m.mu.Unlock()
 	return j, nil
 }
@@ -211,7 +302,8 @@ func (m *jobManager) claim(j *job) bool {
 	return true
 }
 
-// finish records a job's outcome.
+// finish records a job's outcome and clears its journal record (when
+// no duplicate still relies on it).
 func (m *jobManager) finish(j *job, body []byte, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -225,6 +317,7 @@ func (m *jobManager) finish(j *job, body []byte, err error) {
 		j.body = body
 	}
 	close(j.done)
+	m.maybeClearJournalLocked(j)
 	m.pruneLocked()
 }
 
@@ -246,6 +339,7 @@ func (m *jobManager) cancel(id string) (*job, bool, bool) {
 	j.errText = "cancelled before start"
 	j.finished = time.Now()
 	close(j.done)
+	m.maybeClearJournalLocked(j)
 	m.pruneLocked()
 	return j, true, true
 }
@@ -263,9 +357,14 @@ func (m *jobManager) status(j *job) JobStatus {
 		Run:           j.run,
 		Matrix:        j.matrix,
 		Error:         j.errText,
+		Recovered:     j.recovered,
 		SubmittedAt:   j.submitted,
 		StartedAt:     j.started,
 		FinishedAt:    j.finished,
+	}
+	if j.kind == "matrix" {
+		p := j.progress
+		st.Progress = &p
 	}
 	if j.state == JobDone {
 		st.Result = json.RawMessage(j.body)
@@ -273,11 +372,35 @@ func (m *jobManager) status(j *job) JobStatus {
 	return st
 }
 
+// cellDone records one settled cell of a matrix job. state is the
+// cache state its executeRun returned: "miss" means this job ran the
+// engine for the cell; anything else ("hit", "store", "coalesced")
+// means the result already existed or was shared.
+func (m *jobManager) cellDone(j *job, state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.progress.CompletedCells++
+	if state == "miss" {
+		j.progress.ExecutedCells++
+	} else {
+		j.progress.CachedCells++
+	}
+}
+
+// allCellsCached marks a matrix job whose whole-sweep body was already
+// cached or stored: every cell is settled without executing anything.
+func (m *jobManager) allCellsCached(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.progress.CompletedCells = j.progress.TotalCells
+	j.progress.CachedCells = j.progress.TotalCells
+}
+
 // stats counts jobs by state.
 func (m *jobManager) stats(workers int) JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	js := JobStats{Workers: workers, QueueCap: cap(m.queue)}
+	js := JobStats{Workers: workers, QueueCap: cap(m.queue), Recovered: m.recovered}
 	for _, j := range m.order {
 		switch j.state {
 		case JobPending:
@@ -309,13 +432,209 @@ func (s *Server) jobWorker() {
 			var err error
 			switch j.kind {
 			case "matrix":
-				opt := j.matrix.thermal()
-				opt.Runner = s.cfg.Runner
-				body, _, err = s.executeMatrix(s.base, *j.matrix, j.mc, opt)
+				body, err = s.executeMatrixJob(j)
 			default:
 				body, _, err = s.executeRun(s.base, *j.run, j.rc)
 			}
+			if err != nil && s.base.Err() != nil {
+				// The server is shutting down mid-job, not the job
+				// failing: leave the journal record (and the job
+				// "running" in this dying process) so the next process
+				// resumes it from its completed cells.
+				continue
+			}
 			s.jobs.finish(j, body, err)
+		}
+	}
+}
+
+// executeMatrixJob runs one decomposed sweep: every (scenario, policy)
+// cell goes through the standard execute path — cache, durable store,
+// coalescing, engine — so each cell's result persists individually
+// the moment it completes. A job interrupted by a kill therefore
+// resumes from its completed cells on the next submission: those are
+// store hits, and only the missing cells execute. Cells fan out
+// across the configured Runner worker count; total engine concurrency
+// stays bounded by MaxSims, since every cell execution holds a
+// MaxSims slot like any other run.
+func (s *Server) executeMatrixJob(j *job) ([]byte, error) {
+	// The assembled whole-sweep body may itself be cached or stored
+	// (an identical sweep already completed): nothing to decompose.
+	if body, _, ok := s.lookup(j.key, false); ok {
+		s.jobs.allCellsCached(j)
+		return body, nil
+	}
+	// The sweep runs under the flight group on the matrix key, like the
+	// sync /matrix path: an identical sweep in flight — either form —
+	// is joined, not duplicated.
+	ranCells := false
+	body, _, err := s.flight.Do(s.base, j.key, func() ([]byte, error) {
+		if body, _, ok := s.lookup(j.key, true); ok {
+			return body, nil
+		}
+		ranCells = true
+		return s.executeMatrixCells(j)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ranCells {
+		// Served by the cache, the store or another request's
+		// execution: every cell settled without this job running any.
+		s.jobs.allCellsCached(j)
+	}
+	return body, nil
+}
+
+// executeMatrixCells is the decomposed sweep execution itself (the
+// flight leader's body in executeMatrixJob).
+func (s *Server) executeMatrixCells(j *job) ([]byte, error) {
+	workers := s.cfg.Runner.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	defer cancel()
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, workers)
+		bodies  = make([][]byte, len(j.cells))
+		errOnce sync.Once
+		jobErr  error
+	)
+	for i, cell := range j.cells {
+		if ctx.Err() != nil {
+			break // a cell failed or the server is closing
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cell cellTask) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, state, err := s.executeRun(ctx, cell.req, cell.rc)
+			if err != nil {
+				errOnce.Do(func() {
+					jobErr = fmt.Errorf("cell %s/%s: %w", cell.req.Scenario, cell.req.Policy, err)
+					cancel()
+				})
+				return
+			}
+			bodies[i] = body
+			s.jobs.cellDone(j, state)
+		}(i, cell)
+	}
+	wg.Wait()
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep interrupted: %w", err)
+	}
+	doc, err := assembleMatrixDoc(*j.matrix, j.cells, bodies)
+	if err != nil {
+		return nil, err
+	}
+	body, err := EncodeDoc(doc)
+	if err != nil {
+		return nil, err
+	}
+	// The assembled sweep is cached and persisted under the matrix key
+	// like any monolithic result, so re-submitting the identical sweep
+	// — or POSTing it to /matrix — is a pure hit.
+	s.cache.Add(j.key, body)
+	s.storePut(j.key, body)
+	return body, nil
+}
+
+// ---------------------------------------------------------------------
+// The durable job journal.
+//
+// Unfinished jobs are journaled in the store under a reserved key
+// namespace: a record is put at submit and deleted (tombstoned) when
+// the job reaches any final state. On New, surviving journal records
+// are re-submitted, so a kill mid-sweep resumes after restart — the
+// recovered job's completed cells are store hits and only the missing
+// cells execute.
+
+// JournalPrefix is the reserved key namespace of the job journal.
+const JournalPrefix = "job/"
+
+// JournalPinned is the store pin predicate for the job journal: pass
+// it in store.Options so size-budget eviction can never drop journal
+// records (result records are all evictable — they can be recomputed;
+// a journal record is the only trace of an accepted job).
+func JournalPinned(key string) bool { return strings.HasPrefix(key, JournalPrefix) }
+
+// journalKey is the store key of one job's journal record. It is
+// derived from the canonical content address, not the job ID: two
+// submissions of the same sweep are the same work, and recovery
+// re-submits it once.
+func journalKey(j *job) string { return JournalPrefix + j.kind + "/" + j.key }
+
+// initJournal wires the job manager's journal hooks onto the durable
+// store. The hooks run under the manager's mutex (see jobManager), so
+// the journal can never disagree with the job table about which work
+// is still live.
+func (s *Server) initJournal() {
+	if s.cfg.Store == nil {
+		return
+	}
+	s.jobs.journalPut = func(j *job) {
+		entry, err := EncodeDoc(JobRequest{Kind: j.kind, Run: j.run, Matrix: j.matrix})
+		if err == nil {
+			err = s.cfg.Store.Put(journalKey(j), entry)
+		}
+		if err != nil {
+			s.storeErrors.Add(1) // accepted, but will not survive a restart
+		}
+	}
+	s.jobs.journalClear = func(j *job) {
+		if err := s.cfg.Store.Delete(journalKey(j)); err != nil {
+			s.storeErrors.Add(1)
+		}
+	}
+}
+
+// recoverJobs re-submits every journaled job that never reached a
+// final state in a previous process. Runs from New before the workers
+// start. Undecodable journal records are dropped (and counted as
+// store errors); a full queue leaves the remaining records journaled
+// for the next restart.
+func (s *Server) recoverJobs() {
+	if s.cfg.Store == nil {
+		return
+	}
+	for _, key := range s.cfg.Store.Keys(JournalPrefix) {
+		entry, ok, err := s.cfg.Store.Get(key)
+		if err != nil || !ok {
+			if err != nil {
+				s.storeErrors.Add(1)
+			}
+			continue
+		}
+		var jr JobRequest
+		if err := json.Unmarshal(entry, &jr); err != nil {
+			// A journal record that no longer decodes (schema drift,
+			// manual edits) cannot be resumed; drop it rather than
+			// retrying it forever on every restart.
+			s.storeErrors.Add(1)
+			s.cfg.Store.Delete(key)
+			continue
+		}
+		if _, err := s.jobs.submit(jr, true); err != nil {
+			if errors.Is(err, errQueueFull) {
+				// Queue pressure is transient: leave the record for
+				// the next restart.
+				continue
+			}
+			// Anything else is permanent — the request names
+			// scenarios/policies this build no longer registers, so it
+			// can never resume; retrying it on every restart forever
+			// (pinned against eviction, invisible to the operator)
+			// helps nobody. Drop the record and count it.
+			s.storeErrors.Add(1)
+			s.cfg.Store.Delete(key)
+			continue
 		}
 	}
 }

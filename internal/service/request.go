@@ -345,10 +345,14 @@ func NewRunDoc(canon Request, res sim.Result) RunDoc {
 }
 
 // MatrixCellDoc is one (scenario, policy) outcome of a matrix sweep.
+// Result holds the encoded experiment.Summary as raw JSON: matrix
+// bodies are assembled both from fresh sweeps and from individually
+// persisted per-cell run documents, and splicing the stored bytes
+// verbatim is what keeps the two assembly paths byte-identical.
 type MatrixCellDoc struct {
-	Scenario string             `json:"scenario"`
-	Policy   string             `json:"policy"`
-	Result   experiment.Summary `json:"result"`
+	Scenario string          `json:"scenario"`
+	Policy   string          `json:"policy"`
+	Result   json.RawMessage `json:"result"`
 }
 
 // MatrixDoc is the /matrix response document.
@@ -362,7 +366,7 @@ type MatrixDoc struct {
 }
 
 // NewMatrixDoc builds the schema document for one executed sweep.
-func NewMatrixDoc(canon MatrixRequest, cells []experiment.MatrixCell) MatrixDoc {
+func NewMatrixDoc(canon MatrixRequest, cells []experiment.MatrixCell) (MatrixDoc, error) {
 	doc := MatrixDoc{
 		SchemaVersion: experiment.SchemaVersion,
 		Kind:          "matrix",
@@ -371,9 +375,72 @@ func NewMatrixDoc(canon MatrixRequest, cells []experiment.MatrixCell) MatrixDoc 
 		Cells:         make([]MatrixCellDoc, len(cells)),
 	}
 	for i, c := range cells {
-		doc.Cells[i] = MatrixCellDoc{Scenario: c.Scenario, Policy: c.Policy, Result: experiment.Summarize(c.Result)}
+		raw, err := json.Marshal(experiment.Summarize(c.Result))
+		if err != nil {
+			return MatrixDoc{}, err
+		}
+		doc.Cells[i] = MatrixCellDoc{Scenario: c.Scenario, Policy: c.Policy, Result: raw}
 	}
-	return doc
+	return doc, nil
+}
+
+// matrixCells decomposes a canonical matrix request into its cells:
+// one fully canonical run request (plus its execution configuration)
+// per (scenario, policy) pair, scenario-major in the canonical axis
+// order. Each cell's key is the same content address a direct /run of
+// that configuration uses, which is what lets sweep results persist —
+// and restart-resume — cell by cell.
+func matrixCells(canon MatrixRequest) ([]cellTask, error) {
+	cells := make([]cellTask, 0, len(canon.Scenarios)*len(canon.Policies))
+	for _, sn := range canon.Scenarios {
+		for _, pn := range canon.Policies {
+			req, rc, err := Canonicalize(Request{
+				Scenario:   sn,
+				Policy:     pn,
+				Delta:      canon.Delta,
+				Package:    canon.Package,
+				WarmupS:    canon.WarmupS,
+				MeasureS:   canon.MeasureS,
+				QueueCap:   canon.QueueCap,
+				Mechanism:  canon.Mechanism,
+				Integrator: canon.Integrator,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cellTask{req: req, rc: rc})
+		}
+	}
+	return cells, nil
+}
+
+// assembleMatrixDoc splices individually persisted per-cell run bodies
+// into the whole-sweep document. Each cell body is the encoded RunDoc
+// the cell's execution produced (or a store/cache hit of it); its raw
+// result block is lifted verbatim, so the assembled bytes equal what a
+// monolithic sweep of the same canonical request would encode.
+func assembleMatrixDoc(canon MatrixRequest, cells []cellTask, bodies [][]byte) (MatrixDoc, error) {
+	doc := MatrixDoc{
+		SchemaVersion: experiment.SchemaVersion,
+		Kind:          "matrix",
+		Key:           canon.Key(),
+		Request:       canon,
+		Cells:         make([]MatrixCellDoc, len(cells)),
+	}
+	for i, cell := range cells {
+		var run struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(bodies[i], &run); err != nil {
+			return MatrixDoc{}, fmt.Errorf("cell %s/%s: %w", cell.req.Scenario, cell.req.Policy, err)
+		}
+		doc.Cells[i] = MatrixCellDoc{
+			Scenario: cell.req.Scenario,
+			Policy:   cell.req.Policy,
+			Result:   run.Result,
+		}
+	}
+	return doc, nil
 }
 
 // EncodeDoc is the one encoder every schema document goes through —

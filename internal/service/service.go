@@ -29,6 +29,7 @@ import (
 
 	"thermbal/internal/experiment"
 	"thermbal/internal/sim"
+	"thermbal/internal/store"
 )
 
 // Config parameterises a Server. The zero value is ready to use.
@@ -51,9 +52,10 @@ type Config struct {
 	// in number — every distinct canonical config starts one — so
 	// without a cap a burst of distinct requests could exhaust the
 	// machine; beyond the cap, executions queue for a slot. Matrix
-	// sweeps are bounded separately: they execute one at a time (each
-	// already saturates its own Runner pool), so total engine
-	// concurrency is at most MaxSims + Runner workers.
+	// jobs decompose into per-cell runs that hold MaxSims slots like
+	// any other; synchronous /matrix sweeps are bounded separately —
+	// they execute one at a time (each saturates its own Runner pool),
+	// so total engine concurrency is at most MaxSims + Runner workers.
 	MaxSims int
 	// Runner is the worker pool /matrix sweeps and matrix jobs run on
 	// (zero value: GOMAXPROCS workers).
@@ -62,6 +64,16 @@ type Config struct {
 	// synchronous /run accepts; longer runs must go through the async
 	// /jobs queue (default 600).
 	MaxSyncSimS float64
+	// Store, when non-nil, is the durable content-addressed result
+	// store layered under the in-memory cache: cache misses fall
+	// through to it before executing, every executed result is
+	// appended to it, and unfinished jobs journaled in it are
+	// re-submitted on New — so a warm restart serves byte-identical
+	// bodies and resumes sweeps from their completed cells. The caller
+	// owns the store and closes it after Close. Pass store.Options
+	// with Pinned: service.JournalPinned when opening it, so size
+	// eviction cannot drop the job journal.
+	Store *store.Store
 
 	// runSim / runMatrix substitute the execution seams. In-package
 	// tests inject blocking or counting stubs here — before New spawns
@@ -109,8 +121,14 @@ type Server struct {
 	start     time.Time
 
 	// executions counts actual engine runs (one per coalesced group;
-	// cache hits execute nothing).
+	// cache and store hits execute nothing).
 	executions atomic.Int64
+	// storeServes counts responses served straight from the durable
+	// store (a warm restart's first requests); storeErrors counts
+	// store read/write failures, which degrade to memory-only service
+	// instead of failing the request.
+	storeServes atomic.Int64
+	storeErrors atomic.Int64
 
 	// runSim / runMatrix are the execution seams; tests substitute
 	// them to observe or control execution counts deterministically.
@@ -143,6 +161,11 @@ func New(cfg Config) *Server {
 	}
 	s.base, s.stop = context.WithCancel(context.Background())
 	s.jobs.init(cfg.QueueDepth, cfg.JobRetention)
+	s.initJournal()
+	// Journaled jobs from a previous process are re-enqueued before the
+	// workers start; their completed cells are already in the store, so
+	// a resumed sweep executes only what is missing.
+	s.recoverJobs()
 	for i := 0; i < cfg.JobWorkers; i++ {
 		go s.jobWorker()
 	}
@@ -154,27 +177,37 @@ func New(cfg Config) *Server {
 // new job starts.
 func (s *Server) Close() { s.stop() }
 
-// execute serves one canonical request's encoded body: cache first,
-// then the coalescing layer, then build — an actual engine execution
-// plus encoding — whose result is cached under key. slot is the
+// execute serves one canonical request's encoded body: in-memory
+// cache first, then the durable store, then the coalescing layer,
+// then build — an actual engine execution plus encoding — whose
+// result is cached under key and appended to the store. slot is the
 // admission-control semaphore the execution must hold: only cap(slot)
 // executions of its class run at once; the rest hold their (cheap,
 // detached) goroutine until a slot frees. Distinct keys only —
 // identical requests are coalesced and never queue twice. The
-// returned cache state is "hit", "miss" (this caller executed) or
-// "coalesced" (another caller's execution was shared). ctx bounds
-// only this caller's wait: the execution itself is detached, so one
+// returned cache state is "hit" (memory), "store" (durable store,
+// after a restart), "miss" (this caller executed) or "coalesced"
+// (another caller's execution was shared). ctx bounds only this
+// caller's wait: the execution itself is detached, so one
 // disconnecting client neither starves the coalesced others nor
-// wastes the result — it still lands in the cache.
+// wastes the result — it still lands in the cache and the store.
 func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, build func() ([]byte, error)) ([]byte, string, error) {
-	if body, ok := s.cache.Get(key); ok {
-		return body, "hit", nil
+	if body, state, ok := s.lookup(key, false); ok {
+		return body, state, nil
 	}
+	// leaderState records how the leader's closure actually served the
+	// key: the re-check under the flight can find the body without
+	// executing, and reporting that as "miss" would miscount a matrix
+	// cell as executed. Reading it is safe exactly when this caller was
+	// the (uncancelled) leader — the closure completed-before Do
+	// returned.
+	leaderState := "miss"
 	body, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
 		// Re-check under the flight: a previous leader for this key may
 		// have cached the body between our lookup and becoming leader,
 		// and the engine run is far too expensive to duplicate.
-		if body, ok := s.cache.peek(key); ok {
+		if body, state, ok := s.lookup(key, true); ok {
+			leaderState = state
 			return body, nil
 		}
 		slot <- struct{}{}
@@ -185,13 +218,69 @@ func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, bu
 			return nil, err
 		}
 		s.cache.Add(key, body)
+		s.storePut(key, body)
 		return body, nil
 	})
-	state := "miss"
+	if err != nil {
+		return nil, "", err
+	}
+	state := leaderState
 	if shared {
 		state = "coalesced"
 	}
-	return body, state, err
+	return body, state, nil
+}
+
+// lookup is the shared read ladder every serving path goes through:
+// the in-memory cache first, then the durable store — a store hit is
+// re-cached and counted as a serve. state is "hit" or "store". recheck
+// selects the flight leader's variant, whose cache probe must not
+// count a second miss (the caller's original lookup already did).
+func (s *Server) lookup(key string, recheck bool) ([]byte, string, bool) {
+	var body []byte
+	var ok bool
+	if recheck {
+		body, ok = s.cache.peek(key)
+	} else {
+		body, ok = s.cache.Get(key)
+	}
+	if ok {
+		return body, "hit", true
+	}
+	if body, ok := s.storeGet(key); ok {
+		s.cache.Add(key, body)
+		s.storeServes.Add(1)
+		return body, "store", true
+	}
+	return nil, "", false
+}
+
+// storeGet reads key from the durable store, if one is configured. A
+// store read error is counted and treated as a miss: the request can
+// still be served by executing.
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	body, ok, err := s.cfg.Store.Get(key)
+	if err != nil {
+		s.storeErrors.Add(1)
+		return nil, false
+	}
+	return body, ok
+}
+
+// storePut appends key's body to the durable store, if one is
+// configured. A write error is counted but does not fail the request:
+// the result is still served (and cached in memory); it is just not
+// durable.
+func (s *Server) storePut(key string, body []byte) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Put(key, body); err != nil {
+		s.storeErrors.Add(1)
+	}
 }
 
 // executeRun serves one canonical run request on the MaxSims slots.
@@ -217,7 +306,11 @@ func (s *Server) executeMatrix(ctx context.Context, canon MatrixRequest, mc expe
 		if err != nil {
 			return nil, err
 		}
-		return EncodeDoc(NewMatrixDoc(canon, cells))
+		doc, err := NewMatrixDoc(canon, cells)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeDoc(doc)
 	})
 }
 
@@ -239,17 +332,33 @@ type StatsDoc struct {
 	// another request's identical in-flight execution.
 	Coalesced uint64 `json:"coalesced"`
 	// Cache holds the result-cache counters. Misses count lookups that
-	// fell through to the execution/coalescing layer, so a coalesced
-	// request counts one miss and no execution.
+	// fell through to the store/execution/coalescing layers, so a
+	// store-served or coalesced request counts one miss and no
+	// execution.
 	Cache CacheStats `json:"cache"`
+	// Store holds the durable-store counters; absent when the server
+	// runs memory-only.
+	Store *StoreStats `json:"store,omitempty"`
 	// Jobs holds the async-queue counters.
 	Jobs JobStats `json:"jobs"`
+}
+
+// StoreStats is the /stats durable-store block: the store's own
+// segment/record/recovery counters plus the service-level ones.
+type StoreStats struct {
+	store.Stats
+	// Serves counts responses served straight from the durable store —
+	// a warm restart's cache misses that executed nothing.
+	Serves int64 `json:"serves"`
+	// Errors counts store read/write failures (requests still succeed,
+	// degraded to memory-only).
+	Errors int64 `json:"errors"`
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() StatsDoc {
 	inflight, coalesced := s.flight.counts()
-	return StatsDoc{
+	doc := StatsDoc{
 		SchemaVersion: experiment.SchemaVersion,
 		UptimeS:       time.Since(s.start).Seconds(),
 		Executions:    s.executions.Load(),
@@ -259,6 +368,14 @@ func (s *Server) Stats() StatsDoc {
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.stats(s.cfg.JobWorkers),
 	}
+	if s.cfg.Store != nil {
+		doc.Store = &StoreStats{
+			Stats:  s.cfg.Store.Stats(),
+			Serves: s.storeServes.Load(),
+			Errors: s.storeErrors.Load(),
+		}
+	}
+	return doc
 }
 
 var errQueueFull = fmt.Errorf("job queue full; retry later")

@@ -22,6 +22,7 @@
 package thermbal
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -29,7 +30,9 @@ import (
 	"thermbal/internal/migrate"
 	"thermbal/internal/policy"
 	"thermbal/internal/scenario"
+	"thermbal/internal/service"
 	"thermbal/internal/sim"
+	"thermbal/internal/store"
 	"thermbal/internal/thermal"
 )
 
@@ -194,6 +197,103 @@ func Run(cfg Config) (Result, error) {
 		Thermal:    cfg.Integrator.cfg(),
 	})
 	return res, err
+}
+
+// Store is a durable, content-addressed cache of run results on local
+// disk: the same append-only segment-log store cmd/thermservd serves
+// from (internal/store), behind the facade's Config vocabulary. Runs
+// are keyed by the canonical request (the thermbal/run/v1 SHA-256
+// scheme), so a result computed once — by this process, an earlier
+// process, or a thermservd pointed at the same directory — is served
+// from disk byte-for-byte instead of recomputed.
+type Store struct {
+	st *store.Store
+}
+
+// OpenStore opens (or creates) a result store rooted at dir,
+// recovering cleanly from a previous process kill (a partial final
+// record is truncated away; intact records all survive).
+func OpenStore(dir string) (*Store, error) {
+	st, err := store.Open(dir, store.Options{Pinned: service.JournalPinned})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st}, nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.st.Close() }
+
+// StoreStats summarises the store's on-disk state.
+type StoreStats struct {
+	// Segments and Records describe the log; Bytes is its on-disk size.
+	Segments int
+	Records  int
+	Bytes    int64
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	st := s.st.Stats()
+	return StoreStats{Segments: st.Segments, Records: st.Records, Bytes: st.Bytes}
+}
+
+// request maps a facade Config onto the service's wire request, whose
+// canonicalization defines the persistent cache identity.
+func (c Config) request() service.Request {
+	polName := c.PolicyName
+	if polName == "" {
+		polName = c.Policy.sel().String()
+	}
+	mech := ""
+	if c.Recreation {
+		mech = migrate.Recreation.String()
+	}
+	return service.Request{
+		Scenario:   c.Scenario,
+		Policy:     polName,
+		Delta:      c.Delta,
+		Package:    c.Package.sel().String(),
+		WarmupS:    c.WarmupS,
+		MeasureS:   c.MeasureS,
+		QueueCap:   c.QueueCap,
+		Mechanism:  mech,
+		Integrator: c.Integrator.cfg().Scheme.String(),
+	}
+}
+
+// RunSummary executes one experiment through the store: a request
+// whose canonical form is already on disk is served from it (hit =
+// true) without running the engine; otherwise the run executes and its
+// document is persisted before returning. The summary bytes a hit
+// decodes are exactly the bytes the original run encoded.
+func (s *Store) RunSummary(cfg Config) (Summary, bool, error) {
+	canon, rc, err := service.Canonicalize(cfg.request())
+	if err != nil {
+		return Summary{}, false, err
+	}
+	key := canon.Key()
+	if body, ok, err := s.st.Get(key); err == nil && ok {
+		var doc service.RunDoc
+		if err := json.Unmarshal(body, &doc); err == nil {
+			return doc.Result, true, nil
+		}
+		// An undecodable stored document falls through to recompute
+		// (and overwrite) rather than failing the run.
+	}
+	res, _, err := experiment.Run(rc)
+	if err != nil {
+		return Summary{}, false, err
+	}
+	doc := service.NewRunDoc(canon, res)
+	body, err := service.EncodeDoc(doc)
+	if err == nil {
+		err = s.st.Put(key, body)
+	}
+	if err != nil {
+		return doc.Result, false, fmt.Errorf("run succeeded but persisting it failed: %w", err)
+	}
+	return doc.Result, false, nil
 }
 
 // Scenarios returns the names of every registered scenario.

@@ -128,3 +128,46 @@ func TestRunSummarySchema(t *testing.T) {
 		t.Errorf("SchemaVersion = %d", SchemaVersion)
 	}
 }
+
+func TestStoreFacade(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: ThermalBalance, Delta: 3, WarmupS: 0.5, MeasureS: 1}
+	cold, hit, err := st.RunSummary(cfg)
+	if err != nil || hit {
+		t.Fatalf("cold RunSummary: hit=%v err=%v", hit, err)
+	}
+	warm, hit, err := st.RunSummary(cfg)
+	if err != nil || !hit {
+		t.Fatalf("warm RunSummary: hit=%v err=%v", hit, err)
+	}
+	if warm != cold {
+		t.Errorf("stored summary differs: %+v vs %+v", warm, cold)
+	}
+	if s := st.Stats(); s.Records != 1 || s.Bytes == 0 {
+		t.Errorf("store stats = %+v", s)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process (store handle) over the same directory serves the
+	// persisted result without re-running, and spelling the same run
+	// through different vocabulary (policy alias via PolicyName) hits
+	// the same record.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	again, hit, err := st2.RunSummary(Config{PolicyName: "tb", Delta: 3, WarmupS: 0.5, MeasureS: 1})
+	if err != nil || !hit {
+		t.Fatalf("reopened RunSummary: hit=%v err=%v", hit, err)
+	}
+	if again != cold {
+		t.Errorf("reopened summary differs: %+v vs %+v", again, cold)
+	}
+}
