@@ -6,9 +6,9 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check lint print-staticcheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff clean
+.PHONY: check build vet fmt-check lint print-staticcheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm clean
 
-check: fmt-check vet lint build race bench-smoke smoke-serve
+check: fmt-check vet lint build race bench-smoke smoke-expm smoke-serve
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,16 @@ bench-smoke:
 bench-thermal:
 	$(GO) test -bench BenchmarkStep -run '^$$' ./internal/thermal
 
+# End-to-end exercise of the exact matrix-exponential scheme: a paper
+# scenario plus a tiled manycore die through the full CLI with
+# -integrator expm, and the zero-allocation hot-loop assertions run
+# without -race (race instrumentation allocates, so `make race` skips
+# them).
+smoke-expm:
+	$(GO) run ./cmd/thermsim -scenario sdr-radio -integrator expm -warmup 1 -measure 2
+	$(GO) run ./cmd/thermsim -scenario manycore-64 -integrator expm -warmup 1 -measure 1
+	$(GO) test -run 'ZeroAllocs' ./internal/thermal
+
 # Machine-readable ns/op for the Sweep and Step benchmarks, so the perf
 # trajectory is tracked commit over commit. Each bench run is a separate
 # recipe line so a failure aborts the target instead of being masked by
@@ -105,8 +115,8 @@ bench-json:
 		echo "            pass BENCH_OUT=BENCH_$(BENCH_DATE)_2.json (or similar) to add a new one"; \
 		exit 1; \
 	fi
-	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 1x . > .bench.tmp
-	$(GO) test -bench BenchmarkStep -run '^$$' -benchtime 1x ./internal/thermal >> .bench.tmp
+	$(GO) test -bench 'BenchmarkSweep(Serial|SerialExpm|Parallel)' -run '^$$' -benchtime 1x -benchmem . > .bench.tmp
+	$(GO) test -bench BenchmarkStep -run '^$$' -benchtime 1x -benchmem ./internal/thermal >> .bench.tmp
 	$(GO) run ./cmd/bench2json < .bench.tmp > $(BENCH_OUT)
 	@rm -f .bench.tmp
 	@echo "wrote $(BENCH_OUT)"
@@ -126,7 +136,7 @@ bench-diff:
 ifdef BENCH_NEW
 	$(GO) run ./cmd/benchdiff -base "$(BENCH_BASE)" -new $(BENCH_NEW) -match 'BenchmarkSweep' -max-regress 0.15
 else
-	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 3x . > .bench.tmp
+	$(GO) test -bench 'BenchmarkSweep(Serial|SerialExpm|Parallel)' -run '^$$' -benchtime 3x -benchmem . > .bench.tmp
 	$(GO) run ./cmd/bench2json < .bench.tmp > .bench-new.json
 	@rm -f .bench.tmp
 	$(GO) run ./cmd/benchdiff -base "$(BENCH_BASE)" -new .bench-new.json -match 'BenchmarkSweep' -max-regress 0.15

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/thermal"
 )
 
 // The benchmarks below regenerate, one per table/figure, every result of
@@ -159,14 +160,14 @@ func BenchmarkFig11MigrationRate(b *testing.B) {
 // benchSweepWorkers runs a reduced threshold sweep (both packages,
 // thermal-balance at every threshold, short windows) across the given
 // worker count — the wall-clock comparison for the parallel Runner.
-func benchSweepWorkers(b *testing.B, workers int) {
+func benchSweepWorkers(b *testing.B, workers int, th thermal.Config) {
 	b.Helper()
 	var cfgs []experiment.RunConfig
 	for _, pkg := range []experiment.PackageSel{experiment.Mobile, experiment.HighPerf} {
 		for _, d := range experiment.Deltas {
 			cfgs = append(cfgs, experiment.RunConfig{
 				Policy: experiment.ThermalBalance, Delta: d, Package: pkg,
-				WarmupS: 2, MeasureS: 3,
+				WarmupS: 2, MeasureS: 3, Thermal: th,
 			})
 		}
 	}
@@ -184,11 +185,20 @@ func benchSweepWorkers(b *testing.B, workers int) {
 }
 
 // BenchmarkSweepSerial is the pre-refactor behavior: one run at a time.
-func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1, thermal.Config{}) }
+
+// BenchmarkSweepSerialExpm is the same sweep under the exact
+// matrix-exponential scheme: memoized dense propagators replace the
+// Euler substep loop and the engine batches span accounting exactly.
+func BenchmarkSweepSerialExpm(b *testing.B) {
+	benchSweepWorkers(b, 1, thermal.Config{Scheme: thermal.Expm})
+}
 
 // BenchmarkSweepParallel spreads the same runs over GOMAXPROCS workers;
 // the wall-clock ratio to BenchmarkSweepSerial is the Runner's speedup.
-func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkSweepParallel(b *testing.B) {
+	benchSweepWorkers(b, runtime.GOMAXPROCS(0), thermal.Config{})
+}
 
 // BenchmarkEngineTick measures raw simulation throughput: simulated
 // seconds per wall second of the full platform (scheduler + thermal +
@@ -232,6 +242,26 @@ func BenchmarkManycore32(b *testing.B) { benchManycore32(b, false) }
 // BenchmarkManycore32 is the macro-stepping speedup at 32 cores
 // (results are bit-for-bit identical either way).
 func BenchmarkManycore32TickStepped(b *testing.B) { benchManycore32(b, true) }
+
+// BenchmarkManycore256 is the interactivity headline: the 256-core
+// tiled die (1539 thermal nodes) under the balancing policy. At this
+// size the expm cost model keeps the thermal side on sparse Euler
+// substeps, so the figure tracks the engine's event-horizon and
+// span-accounting work.
+func BenchmarkManycore256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiment.Run(experiment.RunConfig{
+			Scenario: "manycore-256", PolicyName: "thermal-balance", Delta: 2,
+			WarmupS: 1, MeasureS: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeasuredS <= 0 {
+			b.Fatal("no measurement window")
+		}
+	}
+}
 
 // BenchmarkAblations runs the design-choice ablation suite (daemon
 // period, TopK, cost filter, mechanism, queue sizing).

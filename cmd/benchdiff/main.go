@@ -1,5 +1,8 @@
 // Command benchdiff compares two bench2json documents and fails when
-// any benchmark matching a name filter regressed beyond a threshold.
+// any benchmark matching a name filter regressed beyond a threshold —
+// in ns/op, or in allocs/op when both documents were recorded with
+// -benchmem (a zero-alloc baseline is a hard floor: one new
+// allocation per op fails the gate).
 // `make bench-diff` uses it to compare a fresh run against the newest
 // committed BENCH_<date>.json, so Sweep-benchmark regressions surface
 // in CI instead of silently accumulating.
@@ -121,6 +124,43 @@ func splitBases(spec string) []string {
 	})
 }
 
+// gate compares one fresh benchmark against its baseline and returns
+// the report lines plus the number of budget violations. ns/op uses
+// the fractional budget. allocs/op (present when both documents were
+// recorded with -benchmem) uses the same fractional budget, except
+// that a zero-alloc baseline is a hard floor: any new allocation per
+// op is a regression — the zero-alloc hot loops are a correctness
+// property of the integrators, not a soft perf number. Documents
+// recorded before -benchmem skip the allocation gate.
+func gate(prev, b benchparse.Result, maxRegress float64) (lines []string, regressions int) {
+	was := prev.NsPerOp
+	delta := (b.NsPerOp - was) / was
+	verdict := "ok"
+	if delta > maxRegress {
+		verdict = "REGRESSED"
+		regressions++
+	}
+	lines = append(lines, fmt.Sprintf("  %-34s %12.0f -> %12.0f ns/op  %+6.1f%%  %s",
+		b.Name, was, b.NsPerOp, 100*delta, verdict))
+
+	wasAllocs, baseHas := prev.Extra["allocs/op"]
+	nowAllocs, freshHas := b.Extra["allocs/op"]
+	if !baseHas || !freshHas {
+		return lines, regressions
+	}
+	switch {
+	case wasAllocs == 0 && nowAllocs > 0:
+		regressions++
+		lines = append(lines, fmt.Sprintf("  %-34s %12.0f -> %12.0f allocs/op  REGRESSED (was zero-alloc)",
+			b.Name, wasAllocs, nowAllocs))
+	case wasAllocs > 0 && (nowAllocs-wasAllocs)/wasAllocs > maxRegress:
+		regressions++
+		lines = append(lines, fmt.Sprintf("  %-34s %12.0f -> %12.0f allocs/op  %+6.1f%%  REGRESSED",
+			b.Name, wasAllocs, nowAllocs, 100*(nowAllocs-wasAllocs)/wasAllocs))
+	}
+	return lines, regressions
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
@@ -148,9 +188,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	baseline := make(map[string]float64, len(base.Benchmarks))
+	baseline := make(map[string]benchparse.Result, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseline[stripProcs(b.Name)] = b.NsPerOp
+		baseline[stripProcs(b.Name)] = b
 	}
 	if len(basePaths) > 1 {
 		fmt.Printf("baseline %s (%s), newest of %d candidates\n", basePath, base.Date, len(basePaths))
@@ -163,25 +203,23 @@ func main() {
 		if !re.MatchString(b.Name) {
 			continue
 		}
-		was, ok := baseline[stripProcs(b.Name)]
+		prev, ok := baseline[stripProcs(b.Name)]
 		if !ok {
 			fmt.Printf("  %-34s %12.0f ns/op  (new benchmark, no baseline)\n", b.Name, b.NsPerOp)
 			continue
 		}
 		compared++
-		delta := (b.NsPerOp - was) / was
-		verdict := "ok"
-		if delta > *maxRegress {
-			verdict = "REGRESSED"
-			regressed++
+		lines, bad := gate(prev, b, *maxRegress)
+		regressed += bad
+		for _, l := range lines {
+			fmt.Println(l)
 		}
-		fmt.Printf("  %-34s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", b.Name, was, b.NsPerOp, 100*delta, verdict)
 	}
 	if compared == 0 {
 		log.Fatalf("no benchmarks matched %q in both documents", *match)
 	}
 	if regressed > 0 {
-		log.Fatalf("%d of %d matched benchmarks regressed more than %.0f%%", regressed, compared, 100**maxRegress)
+		log.Fatalf("%d regressions across %d matched benchmarks (budget %.0f%%)", regressed, compared, 100**maxRegress)
 	}
 	fmt.Printf("%d matched benchmarks within the %.0f%% budget\n", compared, 100**maxRegress)
 }

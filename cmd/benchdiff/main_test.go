@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"thermbal/internal/benchparse"
 )
 
 func writeDoc(t *testing.T, dir, name, date string) string {
@@ -82,5 +84,37 @@ func TestPickBaselineSkipsUnloadableCandidates(t *testing.T) {
 	}
 	if _, _, err := pickBaseline([]string{bad}); err == nil {
 		t.Error("all-unloadable candidate set must error")
+	}
+}
+
+// TestGateAllocs covers the allocation budget: a zero-alloc baseline
+// is a hard floor, non-zero baselines get the fractional budget, and
+// documents without allocs/op skip the gate entirely.
+func TestGateAllocs(t *testing.T) {
+	res := func(ns float64, allocs float64, has bool) benchparse.Result {
+		r := benchparse.Result{Name: "BenchmarkX", NsPerOp: ns}
+		if has {
+			r.Extra = map[string]float64{"allocs/op": allocs}
+		}
+		return r
+	}
+	cases := []struct {
+		name        string
+		prev, now   benchparse.Result
+		regressions int
+	}{
+		{"ns-ok-no-allocs", res(100, 0, false), res(100, 0, false), 0},
+		{"ns-regressed", res(100, 0, false), res(200, 0, false), 1},
+		{"zero-alloc-held", res(100, 0, true), res(100, 0, true), 0},
+		{"zero-alloc-broken", res(100, 0, true), res(100, 1, true), 1},
+		{"alloc-within-budget", res(100, 100, true), res(100, 110, true), 0},
+		{"alloc-over-budget", res(100, 100, true), res(100, 200, true), 1},
+		{"both-regressed", res(100, 0, true), res(200, 5, true), 2},
+		{"baseline-missing-allocs", res(100, 0, false), res(100, 7, true), 0},
+	}
+	for _, c := range cases {
+		if _, got := gate(c.prev, c.now, 0.15); got != c.regressions {
+			t.Errorf("%s: gate() = %d regressions, want %d", c.name, got, c.regressions)
+		}
 	}
 }

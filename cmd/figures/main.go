@@ -30,7 +30,7 @@ func main() {
 	log.SetPrefix("figures: ")
 	only := flag.String("only", "", "table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|narrative|ablations|scale|matrix (empty = all paper artifacts)")
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-	integrator := flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
+	integrator := flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive | expm")
 	scenarioFl := flag.String("scenario", "", "registered scenario for the sweep figures (default sdr-radio)")
 	flag.Parse()
 

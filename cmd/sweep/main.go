@@ -33,7 +33,7 @@ func main() {
 		deltaStr   = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
 		scenarioFl = flag.String("scenario", "", "registered scenario to sweep (default sdr-radio)")
 		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive")
+		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive | expm")
 	)
 	flag.Parse()
 

@@ -217,6 +217,12 @@ func (m *Manager) NumTransferring() int {
 // Transferring only on bus completion, both of which the engine's
 // event horizon already bounds.
 func (m *Manager) NextPhaseTransitionAt() float64 {
+	if len(m.pending) == 0 {
+		// Fast exit for the common no-migration-in-flight case: the
+		// event-horizon scan calls this every span, and even an empty
+		// map iteration costs a runtime call.
+		return math.Inf(1)
+	}
 	at := math.Inf(1)
 	for _, mg := range m.pending {
 		if mg.Phase == Restoring && mg.restoreEnd < at {

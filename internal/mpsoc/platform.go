@@ -41,6 +41,9 @@ type Platform struct {
 
 	// powerBuf is the per-block power vector handed to the thermal model.
 	powerBuf []float64
+	// utilBuf backs FlushWindow's returned utilization vector (reused
+	// across windows so the steady-state loop stays allocation-free).
+	utilBuf []float64
 }
 
 // Config selects the platform components.
@@ -223,14 +226,19 @@ func (p *Platform) AccountShared(dt float64) {
 
 // FlushWindow converts the accumulated window energy into the average
 // power vector, advances the thermal model by windowS, and resets the
-// accumulators. It returns the per-core utilization over the window.
+// accumulators. It returns the per-core utilization over the window;
+// the returned slice is owned by the platform and overwritten by the
+// next call.
 func (p *Platform) FlushWindow(windowS float64) ([]float64, error) {
 	for i, e := range p.energyWin {
 		p.powerBuf[i] = e / windowS
 		p.TotalEnergyJ += e
 		p.energyWin[i] = 0
 	}
-	util := make([]float64, p.NumCores())
+	if p.utilBuf == nil {
+		p.utilBuf = make([]float64, p.NumCores())
+	}
+	util := p.utilBuf
 	for c := range util {
 		if p.capWin[c] > 0 {
 			util[c] = p.busyWin[c] / p.capWin[c]

@@ -181,7 +181,7 @@ func init() {
 	// Many-core scaling: generated workloads on platforms built by
 	// tiling the MPSoC floorplan, ~0.45 FSE budget per core. Shorter
 	// default windows keep the full matrix tractable.
-	for _, n := range []int{8, 16, 32} {
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
 		n := n
 		registerBuiltin(Scenario{
 			Name:          fmt.Sprintf("manycore-%d", n),

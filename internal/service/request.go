@@ -46,7 +46,8 @@ type Request struct {
 	// Mechanism is "task-replication" or "task-recreation" (short
 	// forms "replication"/"recreation"; empty: task-replication).
 	Mechanism string `json:"mechanism"`
-	// Integrator is "euler", "rk4" or "rk4-adaptive" (empty: euler).
+	// Integrator is "euler", "rk4", "rk4-adaptive" or "expm" (empty:
+	// euler).
 	Integrator string `json:"integrator"`
 }
 

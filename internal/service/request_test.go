@@ -92,6 +92,7 @@ func TestKeySeparatesDistinctRuns(t *testing.T) {
 		{QueueCap: 12},
 		{Mechanism: "recreation"},
 		{Integrator: "rk4"},
+		{Integrator: "expm"},
 	}
 	seen := map[string]string{base: "default"}
 	for _, req := range distinct {
@@ -100,6 +101,23 @@ func TestKeySeparatesDistinctRuns(t *testing.T) {
 			t.Errorf("Key(%+v) collides with %s", req, prev)
 		}
 		seen[key] = "variant"
+	}
+}
+
+// Every spelling of the exact scheme canonicalizes to "expm" and all
+// share one content address, distinct from the Euler default's.
+func TestKeyExpmAliasInsensitive(t *testing.T) {
+	base := mustCanon(t, Request{Integrator: "expm"})
+	if base.Integrator != "expm" {
+		t.Fatalf("canonical integrator = %q, want expm", base.Integrator)
+	}
+	if base.Key() == goldenKey {
+		t.Error("expm request collides with the Euler default key")
+	}
+	for _, alias := range []string{"exp", "exact"} {
+		if got := mustCanon(t, Request{Integrator: alias}).Key(); got != base.Key() {
+			t.Errorf("Key(integrator=%q) = %s, want the expm key %s", alias, got, base.Key())
+		}
 	}
 }
 

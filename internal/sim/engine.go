@@ -107,6 +107,19 @@ type Engine struct {
 	pendBusy        []float64 // per-core un-accounted busy cycles
 	lastSharedFlush int64     // tick of the last shared-memory flush
 
+	// spanExact enables batched span accounting in the fast path: a
+	// task receiving a identical budget allocations over an event-free
+	// span advances by the exact product a·budget instead of a rounded
+	// sequential additions. It accompanies the expm thermal scheme —
+	// exact in time, exact in accounting — and differs from the
+	// tick-by-tick replay only in the last ULPs. The default Euler
+	// configuration keeps the bit-for-bit sequential replay.
+	spanExact bool
+
+	// Memoized event-time → threshold-tick conversions for the horizon
+	// scan (see evCache in horizon.go).
+	evSrc, evSink, evMigr evCache
+
 	// Fast-path scratch (reused across macro-steps). The horizon scan
 	// records each core's allocation ring — its allocatable tasks in
 	// pick order — as ringFlat[ringOff[c]:ringOff[c+1]], and macroStep
@@ -159,6 +172,7 @@ func New(cfg Config, plat *mpsoc.Platform, g *stream.Graph, pol policy.Policy) (
 		pendTicks: make([]int64, n),
 		pendBusy:  make([]float64, n),
 		ringOff:   make([]int, n+1),
+		spanExact: cfg.Thermal.Scheme == thermal.Expm,
 	}
 	e.runnableFn = func(ti int) bool {
 		t := e.graph.Task(ti)

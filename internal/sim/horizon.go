@@ -56,16 +56,16 @@ func (e *Engine) horizonTicks(maxSpan int64) int64 {
 		}
 	}
 	// Source emission: the first tick whose time reaches the schedule.
-	if j := e.ticksUntil(e.graph.NextSourceEmissionAt()) - 1; j < h {
+	if j := e.ticksUntilCached(&e.evSrc, e.graph.NextSourceEmissionAt()) - 1; j < h {
 		h = j
 	}
 	// Sink deadline (or imminent playback start).
-	if j := e.ticksUntil(e.graph.NextSinkDeadlineAt()) - 1; j < h {
+	if j := e.ticksUntilCached(&e.evSink, e.graph.NextSinkDeadlineAt()) - 1; j < h {
 		h = j
 	}
 	// Migration restore completion (task-recreation only; transfers are
 	// excluded by the gate above, checkpoints by the completion bound).
-	if j := e.ticksUntil(e.migr.NextPhaseTransitionAt()) - 1; j < h {
+	if j := e.ticksUntilCached(&e.evMigr, e.migr.NextPhaseTransitionAt()) - 1; j < h {
 		h = j
 	}
 	if h <= 0 {
@@ -127,6 +127,41 @@ func (e *Engine) horizonTicks(maxSpan int64) int64 {
 	return h
 }
 
+// evCache memoizes one ticksUntil call site. The threshold tick for a
+// given event time is independent of the current tick (the predicate
+// compares absolute tick times against `at`), so while the event time
+// is unchanged the cached absolute tick answers every rescan with one
+// subtraction — the horizon scan runs several times per sensor period
+// against mostly-unchanged source/sink/migration schedules.
+type evCache struct {
+	at  float64
+	abs int64 // first tick index whose time reaches at
+}
+
+// ticksUntilCached is ticksUntil memoized through c. The cached
+// absolute tick stays valid until the event time changes; once the
+// clock passes it the clamp to 1 reproduces ticksUntil's floor exactly.
+func (e *Engine) ticksUntilCached(c *evCache, at float64) int64 {
+	if math.IsInf(at, 1) {
+		return maxHorizon
+	}
+	if math.IsInf(at, -1) {
+		return 1
+	}
+	if at == c.at {
+		j := c.abs - e.ticks
+		if j < 1 {
+			return 1
+		}
+		return j
+	}
+	j := e.ticksUntil(at)
+	if j < maxHorizon {
+		c.at, c.abs = at, e.ticks+j
+	}
+	return j
+}
+
 // ticksUntil returns the smallest j >= 1 such that the time of tick
 // ticks+j reaches `at` under the engine's event predicate
 // (now >= at-1e-12, the same slop the stream schedulers use). Infinite
@@ -186,6 +221,17 @@ func (e *Engine) macroStep(span int64) {
 				a = (span-1-pi)/m + 1
 			}
 			t := e.graph.Task(ti)
+			if e.spanExact {
+				// Span-exact accounting (expm scheme): one exact
+				// product replaces the a rounded additions of the
+				// replay loop. See Task.ExecuteSpan.
+				consumed, done := t.ExecuteSpan(budget, a)
+				if done {
+					panic(fmt.Sprintf("sim: fast path mispredicted completion of %q", t.Name))
+				}
+				e.pendBusy[c] += consumed
+				continue
+			}
 			for j := int64(0); j < a; j++ {
 				consumed, done := t.Execute(budget)
 				if done {

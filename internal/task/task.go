@@ -181,6 +181,33 @@ func (t *Task) Execute(cycles float64) (consumed float64, frameDone bool) {
 	return cycles, false
 }
 
+// ExecuteSpan spends n whole allocations of budget cycles each on the
+// in-flight frame in one batch: Progress and BusyCycles advance by the
+// exact product n·budget instead of n sequential additions. The caller
+// must have bounded n so the frame cannot complete within the batch
+// (the event-horizon fast path does); frameDone reports a bound
+// violation — the frame would have finished — and leaves the task
+// untouched so the caller can fail loudly.
+//
+// The batched sum n·budget is the exact value the per-tick loop
+// approximates with n rounded additions, so results can differ from
+// tick-by-tick execution in the last ULPs. The engine therefore only
+// batches under the span-exact accounting mode that accompanies the
+// expm thermal scheme; the default Euler configuration keeps the
+// sequential path bit-for-bit.
+func (t *Task) ExecuteSpan(budget float64, n int64) (consumed float64, frameDone bool) {
+	if !t.InFlight || n <= 0 || budget <= 0 {
+		return 0, false
+	}
+	total := budget * float64(n)
+	if total >= t.CyclesPerFrame-t.Progress {
+		return 0, true
+	}
+	t.Progress += total
+	t.BusyCycles += total
+	return total, false
+}
+
 // MigrationBytes returns the payload a migration of this task moves for
 // the given mechanism: replication transfers the live context only;
 // recreation additionally reloads the code image.

@@ -1,0 +1,289 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"thermbal/internal/floorplan"
+)
+
+// expmModel builds the 3-core model on the given package with dense
+// propagation forced for every span (crossover disabled).
+func expmModel(t *testing.T, pkg Package) *Model {
+	t.Helper()
+	m, err := NewModel(floorplan.Default3Core(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Net.SetIntegrator(NewIntegrator(Config{Scheme: Expm, ExpmMinSubsteps: 1}))
+	return m
+}
+
+// testPower returns a deterministic non-uniform power vector for n
+// nodes: a few watts on the first nodes (the block nodes of the 3-core
+// model), nothing elsewhere — matching the shape FlushWindow produces.
+func testPower(n int) []float64 {
+	p := make([]float64, n)
+	for i := 0; i < n && i < 7; i++ {
+		p[i] = 0.5 - 0.05*float64(i)
+	}
+	return p
+}
+
+// richardsonEuler integrates the network's ODE with explicit Euler at
+// fixed steps h, h/2 and h/4 and returns the doubly
+// Richardson-extrapolated trajectory after `total` seconds, starting
+// from the network's current state. Euler's global error expands in
+// powers of h; the first extrapolation 2·T_{h/2} − T_h cancels the
+// O(h) term, the second level cancels O(h²), leaving a reference well
+// below a 1e-6 budget at steps any plain Euler run could never afford.
+func richardsonEuler(v View, start []float64, total, h float64, power []float64) []float64 {
+	// Snap h so it divides the total exactly: every grid must integrate
+	// the same span or the extrapolation compares different end times.
+	steps := int(math.Ceil(total / h))
+	h = total / float64(steps)
+	run := func(steps int) []float64 {
+		h := total / float64(steps)
+		temps := append([]float64(nil), start...)
+		d := make([]float64, len(start))
+		for s := 0; s < steps; s++ {
+			v.Deriv(temps, power, d)
+			for i := range temps {
+				temps[i] += h * d[i]
+			}
+		}
+		return temps
+	}
+	full := run(steps)
+	half := run(2 * steps)
+	quarter := run(4 * steps)
+	out := make([]float64, len(full))
+	for i := range out {
+		r1 := 2*half[i] - full[i]    // O(h²)
+		r2 := 2*quarter[i] - half[i] // O((h/2)²)
+		out[i] = (4*r2 - r1) / 3     // O(h³)
+	}
+	return out
+}
+
+// Exactness against Euler-at-tiny-dt: one second of 10 ms sensor
+// windows from ambient (the sharpest transient) must agree with the
+// Richardson-extrapolated tiny-step Euler reference within 1e-6 °C on
+// both packages.
+func TestExpmMatchesTinyStepEuler(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pkg  Package
+	}{
+		{"mobile", MobileEmbedded()},
+		{"highperf", HighPerformance()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := expmModel(t, tc.pkg)
+			n := m.Net.NumNodes()
+			power := testPower(n)
+			start := m.Net.Temperatures(nil)
+			const window, windows = 0.01, 100
+			for w := 0; w < windows; w++ {
+				if err := m.Net.Step(window, power); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref := richardsonEuler(m.Net.View(), start, window*windows, m.Net.MaxStableStep()/200, power)
+			var worst float64
+			for i := 0; i < n; i++ {
+				if d := math.Abs(m.Net.Temperature(i) - ref[i]); d > worst {
+					worst = d
+				}
+			}
+			if worst > 1e-6 {
+				t.Errorf("max |expm - tiny-step Euler| = %.3g °C, want <= 1e-6", worst)
+			}
+		})
+	}
+}
+
+// The t→∞ limit: propagating one enormous exact span must land on the
+// linear solver's steady state.
+func TestExpmReachesSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pkg  Package
+	}{
+		{"mobile", MobileEmbedded()},
+		{"highperf", HighPerformance()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := expmModel(t, tc.pkg)
+			power := testPower(m.Net.NumNodes())
+			want, err := m.Net.SteadyState(power)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Net.Step(1e5, power); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if d := math.Abs(m.Net.Temperature(i) - want[i]); d > 1e-7 {
+					t.Errorf("node %d: |T(1e5 s) - steady| = %.3g °C", i, d)
+				}
+			}
+		})
+	}
+}
+
+// Memo-cache exactness: a repeated span length never rebuilds the
+// propagator, and repeating the same span from the same state yields
+// bit-identical trajectories across two fresh integrators.
+func TestExpmMemoCacheExact(t *testing.T) {
+	m1 := expmModel(t, HighPerformance())
+	m2 := expmModel(t, HighPerformance())
+	power := testPower(m1.Net.NumNodes())
+	const spans = 200
+	for s := 0; s < spans; s++ {
+		if err := m1.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, entries, evictions, ok := ExpmStats(m1.Net.Integrator())
+	if !ok {
+		t.Fatal("ExpmStats: not an expm integrator")
+	}
+	if misses != 1 || hits != spans-1 || entries != 1 || evictions != 0 {
+		t.Errorf("cache stats = %d hits, %d misses, %d entries, %d evictions; want %d/1/1/0",
+			hits, misses, entries, evictions, spans-1)
+	}
+	for i := 0; i < m1.Net.NumNodes(); i++ {
+		if m1.Net.Temperature(i) != m2.Net.Temperature(i) {
+			t.Fatalf("node %d: trajectories diverged between identical integrators: %v vs %v",
+				i, m1.Net.Temperature(i), m2.Net.Temperature(i))
+		}
+	}
+}
+
+// The FIFO eviction bound: sweeping more distinct span lengths than
+// the cache holds must evict rather than grow.
+func TestExpmCacheEviction(t *testing.T) {
+	m := expmModel(t, HighPerformance())
+	power := testPower(m.Net.NumNodes())
+	for i := 0; i < expmCacheCap+8; i++ {
+		if err := m.Net.Step(0.01+0.001*float64(i), power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses, entries, evictions, _ := ExpmStats(m.Net.Integrator())
+	if entries > expmCacheCap {
+		t.Errorf("cache grew to %d entries, cap %d", entries, expmCacheCap)
+	}
+	if evictions != 8 || misses != expmCacheCap+8 {
+		t.Errorf("misses=%d evictions=%d, want %d/8", misses, evictions, expmCacheCap+8)
+	}
+}
+
+// Below the crossover the integrator must delegate to the embedded
+// Euler fallback bit-for-bit: a span that explicit Euler covers in a
+// couple of substeps, on an integrator whose threshold keeps dense
+// propagation out of reach.
+func TestExpmFallbackIsEulerBitForBit(t *testing.T) {
+	m1, err := NewModel(floorplan.Default3Core(), MobileEmbedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Net.SetIntegrator(NewIntegrator(Config{Scheme: Expm, ExpmMinSubsteps: 1 << 30}))
+	m2, err := NewModel(floorplan.Default3Core(), MobileEmbedded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := testPower(m1.Net.NumNodes())
+	for s := 0; s < 100; s++ {
+		if err := m1.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < m1.Net.NumNodes(); i++ {
+		if m1.Net.Temperature(i) != m2.Net.Temperature(i) {
+			t.Fatalf("node %d: fallback diverged from Euler: %v vs %v",
+				i, m1.Net.Temperature(i), m2.Net.Temperature(i))
+		}
+	}
+}
+
+// The hot loop must not allocate once the propagator is cached. Race
+// instrumentation allocates, so the assertion is skipped under -race.
+func TestExpmStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m := expmModel(t, HighPerformance())
+	power := testPower(m.Net.NumNodes())
+	// Prime the cache.
+	if err := m.Net.Step(0.01, power); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit Step allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// The adaptive RK4 controller shares the zero-allocation requirement:
+// its scratch (including the shared first stage) is reused across
+// substeps and Advance calls.
+func TestAdaptiveRK4StepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m, err := NewModel(floorplan.Default3Core(), HighPerformance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Net.SetIntegrator(NewIntegrator(Config{Scheme: RK4Adaptive}))
+	power := testPower(m.Net.NumNodes())
+	if err := m.Net.Step(0.01, power); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("adaptive RK4 Step allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// The shared build cache must hand two integrators of identical
+// systems one propagator without a second build, and distinct systems
+// must never share (the high-performance package scales the mobile
+// one, so its propagators differ).
+func TestExpmSharedBuildCache(t *testing.T) {
+	mA := expmModel(t, MobileEmbedded())
+	mB := expmModel(t, MobileEmbedded())
+	mC := expmModel(t, HighPerformance())
+	power := testPower(mA.Net.NumNodes())
+	for _, m := range []*Model{mA, mB, mC} {
+		if err := m.Net.Step(0.01, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	igA := mA.Net.Integrator().(*expmIntegrator)
+	igB := mB.Net.Integrator().(*expmIntegrator)
+	igC := mC.Net.Integrator().(*expmIntegrator)
+	pA, pB, pC := igA.propagator(0.01), igB.propagator(0.01), igC.propagator(0.01)
+	if pA != pB {
+		t.Error("identical systems did not share one cached propagator")
+	}
+	if pA == pC {
+		t.Error("distinct packages shared a propagator")
+	}
+}

@@ -20,6 +20,12 @@ const (
 	// hold the per-step error under Config.Tol, never exceeding the RK4
 	// stability bound.
 	RK4Adaptive
+	// Expm is exact dense propagation: T' = A·T + B·P + b with
+	// A = e^{H·dt} precomputed per distinct span length by
+	// scaling-and-squaring and memoized, so one matvec pair replaces
+	// the whole substep loop with zero truncation error. Spans below a
+	// cost crossover substep via the Euler fallback (see expm.go).
+	Expm
 )
 
 // String names the scheme as accepted by ParseScheme.
@@ -29,6 +35,8 @@ func (s Scheme) String() string {
 		return "rk4"
 	case RK4Adaptive:
 		return "rk4-adaptive"
+	case Expm:
+		return "expm"
 	default:
 		return "euler"
 	}
@@ -44,8 +52,10 @@ func ParseScheme(name string) (Scheme, error) {
 		return RK4, nil
 	case "rk4-adaptive", "rk4a", "adaptive":
 		return RK4Adaptive, nil
+	case "expm", "exp", "exact":
+		return Expm, nil
 	}
-	return Euler, fmt.Errorf("thermal: unknown integrator %q (want euler, rk4 or rk4-adaptive)", name)
+	return Euler, fmt.Errorf("thermal: unknown integrator %q (want euler, rk4, rk4-adaptive or expm)", name)
 }
 
 // Config selects and tunes the integration scheme. The zero value is the
@@ -56,6 +66,14 @@ type Config struct {
 	// Tol is the per-substep absolute error tolerance in °C for adaptive
 	// schemes (default 1e-6). Ignored by fixed-step schemes.
 	Tol float64
+	// ExpmMinSubsteps tunes the Expm scheme's crossover: spans that
+	// explicit Euler would cover in fewer substeps than this fall back
+	// to Euler substepping (dense propagation costs 2n² multiply-adds
+	// regardless of span length, so very short spans and very large
+	// networks are cheaper to substep). 0 selects an automatic
+	// cost-model threshold from the network size; 1 forces dense
+	// propagation for every span. Ignored by other schemes.
+	ExpmMinSubsteps int
 }
 
 // Integrator advances the temperature state of an RC network. An
@@ -82,6 +100,8 @@ func NewIntegrator(cfg Config) Integrator {
 		return newRK4()
 	case RK4Adaptive:
 		return newAdaptiveRK4(cfg.Tol)
+	case Expm:
+		return newExpm(cfg.ExpmMinSubsteps)
 	default:
 		return newEuler()
 	}

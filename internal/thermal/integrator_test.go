@@ -32,6 +32,9 @@ func TestParseScheme(t *testing.T) {
 		{"rk4-adaptive", RK4Adaptive, true},
 		{"rk4a", RK4Adaptive, true},
 		{"adaptive", RK4Adaptive, true},
+		{"expm", Expm, true},
+		{"exp", Expm, true},
+		{"exact", Expm, true},
 		{"simpson", Euler, false},
 	} {
 		got, err := ParseScheme(tc.in)
@@ -44,7 +47,7 @@ func TestParseScheme(t *testing.T) {
 		}
 	}
 	// Round trip through String.
-	for _, s := range []Scheme{Euler, RK4, RK4Adaptive} {
+	for _, s := range []Scheme{Euler, RK4, RK4Adaptive, Expm} {
 		got, err := ParseScheme(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
@@ -53,7 +56,7 @@ func TestParseScheme(t *testing.T) {
 }
 
 func TestNewIntegratorNames(t *testing.T) {
-	for _, s := range []Scheme{Euler, RK4, RK4Adaptive} {
+	for _, s := range []Scheme{Euler, RK4, RK4Adaptive, Expm} {
 		ig := NewIntegrator(Config{Scheme: s})
 		if ig.Name() != s.String() {
 			t.Errorf("NewIntegrator(%v).Name() = %q", s, ig.Name())

@@ -235,7 +235,11 @@ func (n *Network) StepsPerInterval(dt float64) int {
 	if dt <= 0 {
 		return 0
 	}
-	return int(math.Ceil(dt / n.integ.MaxStep(n.View())))
+	steps := int(math.Ceil(dt / n.integ.MaxStep(n.View())))
+	if steps < 1 {
+		steps = 1 // unconditionally stable schemes (expm) cover dt in one step
+	}
+	return steps
 }
 
 // Step advances the network by dt seconds with the given per-node power

@@ -1,0 +1,5 @@
+//go:build !race
+
+package thermal
+
+const raceEnabled = false

@@ -31,8 +31,16 @@ func (r *rk4Integrator) ensure(n int) {
 // step performs one RK4 step of size h on temps in place.
 func (r *rk4Integrator) step(v View, temps []float64, h float64, power []float64) {
 	v.Deriv(temps, power, r.k1)
+	r.stepWithK1(v, temps, h, power, r.k1)
+}
+
+// stepWithK1 is step with the first stage supplied by the caller. The
+// step-doubling controller evaluates the full step and the first half
+// step from the same state, so their k1 stages are bitwise identical
+// and one evaluation serves both. k1 is read only.
+func (r *rk4Integrator) stepWithK1(v View, temps []float64, h float64, power, k1 []float64) {
 	for i := range temps {
-		r.tmp[i] = temps[i] + 0.5*h*r.k1[i]
+		r.tmp[i] = temps[i] + 0.5*h*k1[i]
 	}
 	v.Deriv(r.tmp, power, r.k2)
 	for i := range temps {
@@ -44,7 +52,7 @@ func (r *rk4Integrator) step(v View, temps []float64, h float64, power []float64
 	}
 	v.Deriv(r.tmp, power, r.k4)
 	for i := range temps {
-		temps[i] += h / 6 * (r.k1[i] + 2*r.k2[i] + 2*r.k3[i] + r.k4[i])
+		temps[i] += h / 6 * (k1[i] + 2*r.k2[i] + 2*r.k3[i] + r.k4[i])
 	}
 }
 
@@ -76,6 +84,10 @@ type adaptiveRK4 struct {
 	tol        float64
 	h          float64 // carried between Advance calls
 	full, half []float64
+	// k1 holds the shared first stage of each full/half step pair (the
+	// controller's own buffer, so the inner integrator's scratch stays
+	// free for the remaining stages).
+	k1 []float64
 }
 
 func newAdaptiveRK4(tol float64) *adaptiveRK4 {
@@ -94,6 +106,7 @@ func (a *adaptiveRK4) Advance(v View, temps []float64, dt float64, power []float
 	a.inner.ensure(n)
 	a.full = growScratch(a.full, n)
 	a.half = growScratch(a.half, n)
+	a.k1 = growScratch(a.k1, n)
 	cap := a.inner.MaxStep(v)
 	minStep := cap / 1024
 	if a.h <= 0 || a.h > cap {
@@ -109,10 +122,14 @@ func (a *adaptiveRK4) Advance(v View, temps []float64, dt float64, power []float
 		if sliver {
 			h = dt
 		}
+		// The full step and the first half step start from the same
+		// state, so they share one first-stage evaluation (bitwise
+		// identical to evaluating it twice).
+		v.Deriv(temps, power, a.k1)
 		copy(a.full, temps)
-		a.inner.step(v, a.full, h, power)
+		a.inner.stepWithK1(v, a.full, h, power, a.k1)
 		copy(a.half, temps)
-		a.inner.step(v, a.half, h/2, power)
+		a.inner.stepWithK1(v, a.half, h/2, power, a.k1)
 		a.inner.step(v, a.half, h/2, power)
 		var err float64
 		for i := range a.full {
@@ -130,9 +147,13 @@ func (a *adaptiveRK4) Advance(v View, temps []float64, dt float64, power []float
 			}
 		}
 		// Standard 5th-order controller update, clamped to keep the
-		// step inside [minStep, stability bound].
+		// step inside [minStep, stability bound]. When the error is so
+		// far below tolerance that the growth clamp applies regardless
+		// (0.9·(tol/err)^0.2 ≥ 4 ⇔ tol/err ≥ (4/0.9)^5 ≈ 1733), skip
+		// the Pow — at steady state every substep lands here, and the
+		// transcendental call dominates the controller's own cost.
 		fac := 4.0
-		if err > 0 {
+		if err > 0 && err*2048 > a.tol {
 			fac = 0.9 * math.Pow(a.tol/err, 0.2)
 			fac = math.Min(4, math.Max(0.2, fac))
 		}

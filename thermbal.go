@@ -98,6 +98,12 @@ const (
 	// AdaptiveRK4Integrator is RK4 under a step-doubling error
 	// controller.
 	AdaptiveRK4Integrator
+	// ExpmIntegrator is the exact matrix-exponential scheme: the RC
+	// network is linear time-invariant, so one memoized dense
+	// propagator pair replaces the whole substep loop with zero
+	// truncation error; spans below a cost crossover fall back to
+	// explicit Euler bit-for-bit.
+	ExpmIntegrator
 )
 
 // String names the integrator.
@@ -109,6 +115,8 @@ func (k IntegratorKind) cfg() thermal.Config {
 		return thermal.Config{Scheme: thermal.RK4}
 	case AdaptiveRK4Integrator:
 		return thermal.Config{Scheme: thermal.RK4Adaptive}
+	case ExpmIntegrator:
+		return thermal.Config{Scheme: thermal.Expm}
 	default:
 		return thermal.Config{Scheme: thermal.Euler}
 	}
