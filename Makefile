@@ -6,7 +6,7 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check lint print-staticcheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm clean
+.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm clean
 
 check: fmt-check vet lint build race bench-smoke smoke-expm smoke-serve
 
@@ -34,6 +34,24 @@ lint:
 		echo "lint: staticcheck not found; skipping (install: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
+# Known-vulnerability scan over the dependency graph (trivially small
+# here — the module is stdlib-only — but the gate keeps it that way).
+# Pinned like staticcheck; degrades to a skip-with-hint offline. CI
+# runs it warn-only: a new CVE in the toolchain must not block
+# unrelated work, only annotate it.
+GOVULNCHECK ?= govulncheck
+GOVULNCHECK_VERSION ?= v1.1.4
+
+print-govulncheck-version:
+	@echo $(GOVULNCHECK_VERSION)
+
+vulncheck:
+	@if command -v $(GOVULNCHECK) >/dev/null 2>&1; then \
+		$(GOVULNCHECK) ./...; \
+	else \
+		echo "vulncheck: govulncheck not found; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
 # Fails when any tracked Go file is not gofmt-clean.
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -48,12 +66,11 @@ race:
 	$(GO) test -race ./...
 
 # Coverage profile + per-function summary. cover-check compares the
-# total against the soft floor; CI runs it warn-only
-# (continue-on-error), so a dip annotates the build without blocking
-# unrelated work — raise COVER_FLOOR as coverage grows. CI collects
-# the profile from its race run (COVER_FLAGS=-race) so the suite
-# executes once per leg.
-COVER_FLOOR ?= 74.0
+# total against the floor; CI enforces it as a hard gate on the go.mod
+# leg and warn-only on the stable leg (a new toolchain must not turn a
+# coverage wobble into a red build). The floor trails the measured
+# total by about a point — raise it as coverage grows.
+COVER_FLOOR ?= 74.8
 COVER_OUT ?= coverage.out
 COVER_FLAGS ?=
 
@@ -65,7 +82,7 @@ cover:
 cover-check:
 	@test -f $(COVER_OUT) || { echo "cover-check: $(COVER_OUT) missing; run 'make cover' first"; exit 1; }
 	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ { gsub("%",""); print $$NF }'); \
-	echo "coverage: total $${total}% (soft floor $(COVER_FLOOR)%)"; \
+	echo "coverage: total $${total}% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage: below the $(COVER_FLOOR)% floor"; exit 1; }
 
@@ -78,8 +95,9 @@ serve:
 
 # End-to-end server self-check: thermservd starts on an ephemeral
 # port, exercises /scenarios and a cached-vs-fresh /run pair over real
-# TCP, verifies the bodies are byte-identical and the /stats counters
-# agree, and shuts down cleanly.
+# TCP (bodies byte-identical, X-Timing headers parse and match the
+# executed-vs-cached shape), verifies /metrics reconciles with the
+# /stats counters, and runs the durable-store restart pass.
 smoke-serve:
 	$(GO) run ./cmd/thermservd -smoke
 
@@ -143,6 +161,10 @@ else
 	@rm -f .bench-new.json
 endif
 
+# Removes everything .gitignore names: bench intermediates, CI's
+# bench/coverage outputs, and stray compiled test binaries
+# (`go test -c` artifacts like thermbal.test).
 clean:
-	@rm -f .bench.tmp .bench-new.json coverage.out
+	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out
+	@find . -name '*.test' -type f -delete
 	$(GO) clean ./...

@@ -12,15 +12,22 @@
 //	                                 # restarts, sweeps resume
 //	thermservd -addr 127.0.0.1:0     # ephemeral port (printed on start)
 //	thermservd -cache 2048 -job-workers 4 -queue-depth 128
+//	thermservd -timing-log timings.csv
+//	                                 # append one CSV timing record per
+//	                                 # /run//matrix request
 //	thermservd -smoke                # self-check: start on an ephemeral
 //	                                 # port, exercise /scenarios, a
-//	                                 # cached-vs-fresh /run pair and a
+//	                                 # cached-vs-fresh /run pair (with
+//	                                 # X-Timing parsing), the /metrics
+//	                                 # surface against /stats, and a
 //	                                 # kill + restart-and-rehit pass on
 //	                                 # a durable store; exit 0/1
 //
 // Endpoints: GET /scenarios, GET /policies, POST /run, POST /matrix,
-// POST/GET /jobs, GET|DELETE /jobs/{id}, GET /stats, GET /healthz.
-// The server shuts down gracefully on SIGINT/SIGTERM.
+// POST/GET /jobs, GET|DELETE /jobs/{id}, GET /stats, GET /metrics,
+// GET /healthz. /run and /matrix responses carry an X-Timing header
+// (compact stage=µs pairs). The server shuts down gracefully on
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -35,10 +42,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"thermbal/internal/obs"
 	"thermbal/internal/policy"
 	"thermbal/internal/scenario"
 	"thermbal/internal/service"
@@ -60,6 +69,7 @@ func main() {
 		maxSync    = flag.Float64("max-sync", 0, "max simulated seconds a synchronous /run accepts (default 600)")
 		dataDir    = flag.String("data-dir", "", "durable result-store directory (empty: memory-only; results and job resumability are lost on restart)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk store size budget in bytes; exceeding it compacts the log and evicts the oldest results (default 256 MiB)")
+		timingLog  = flag.String("timing-log", "", "append one CSV timing record per /run and /matrix request to this file (header written when the file is new)")
 		smoke      = flag.Bool("smoke", false, "run the self-check against an ephemeral instance and exit")
 	)
 	flag.Parse()
@@ -80,6 +90,22 @@ func main() {
 		}
 		log.Print("smoke: PASS")
 		return
+	}
+
+	if *timingLog != "" {
+		f, err := os.OpenFile(*timingLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Write the column header only on a fresh file; appending to an
+		// existing log must not interleave a second header mid-stream.
+		cfg.TimingLog = obs.NewCSVLogger(f, info.Size() == 0)
+		log.Printf("timing log: %s", *timingLog)
 	}
 
 	if *dataDir != "" {
@@ -190,20 +216,68 @@ func (i *smokeInstance) get(path string) ([]byte, error) {
 	return b, nil
 }
 
-func (i *smokeInstance) post(path, body string) ([]byte, string, error) {
+func (i *smokeInstance) post(path, body string) ([]byte, http.Header, error) {
 	resp, err := http.Post(i.base+path, "application/json", strings.NewReader(body))
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return nil, "", fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, b)
+		return nil, nil, fmt.Errorf("POST %s: %d: %s", path, resp.StatusCode, b)
 	}
-	return b, resp.Header.Get("X-Cache"), nil
+	return b, resp.Header, nil
+}
+
+// checkTiming asserts a /run response's X-Timing header parses, names
+// every stage plus total, and matches the executed-vs-cached shape:
+// an executed (miss) response spent measurable time in the engine, a
+// cached one must not claim any.
+func checkTiming(h http.Header, wantExecuted bool) error {
+	v := h.Get("X-Timing")
+	if v == "" {
+		return fmt.Errorf("X-Timing header absent")
+	}
+	pairs, err := obs.ParseHeaderValue(v)
+	if err != nil {
+		return fmt.Errorf("X-Timing %q: %w", v, err)
+	}
+	for _, name := range obs.StageNames {
+		if _, ok := pairs[name]; !ok {
+			return fmt.Errorf("X-Timing %q missing stage %q", v, name)
+		}
+	}
+	total, ok := pairs["total"]
+	if !ok {
+		return fmt.Errorf("X-Timing %q missing total", v)
+	}
+	if total <= 0 {
+		return fmt.Errorf("X-Timing %q: total %d µs, want > 0", v, total)
+	}
+	if wantExecuted && pairs["execute"] <= 0 {
+		return fmt.Errorf("X-Timing %q: executed run reports %d µs in the engine", v, pairs["execute"])
+	}
+	if !wantExecuted && pairs["execute"] != 0 {
+		return fmt.Errorf("X-Timing %q: cached run claims %d µs in the engine", v, pairs["execute"])
+	}
+	return nil
+}
+
+// metricValue extracts one series value from a Prometheus text
+// exposition: the line starting `series value`.
+func metricValue(text, series string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }
 
 func (i *smokeInstance) stats() (service.StatsDoc, error) {
@@ -275,24 +349,30 @@ func runSmoke(cfg service.Config) error {
 	log.Printf("smoke: /scenarios ok (%d scenarios)", len(scDoc.Scenarios))
 
 	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
-	cold, state, err := inst.post("/run", run)
+	cold, hdr, err := inst.post("/run", run)
 	if err != nil {
 		return err
 	}
-	if state != "miss" {
+	if state := hdr.Get("X-Cache"); state != "miss" {
 		return fmt.Errorf("cold /run X-Cache = %q, want miss", state)
 	}
-	cached, state, err := inst.post("/run", run)
+	if err := checkTiming(hdr, true); err != nil {
+		return fmt.Errorf("cold /run: %w", err)
+	}
+	cached, hdr, err := inst.post("/run", run)
 	if err != nil {
 		return err
 	}
-	if state != "hit" {
+	if state := hdr.Get("X-Cache"); state != "hit" {
 		return fmt.Errorf("second /run X-Cache = %q, want hit", state)
+	}
+	if err := checkTiming(hdr, false); err != nil {
+		return fmt.Errorf("cached /run: %w", err)
 	}
 	if !bytes.Equal(cold, cached) {
 		return fmt.Errorf("cached /run body differs from the cold run")
 	}
-	log.Printf("smoke: /run cold-vs-cached ok (%d bytes, byte-identical)", len(cold))
+	log.Printf("smoke: /run cold-vs-cached ok (%d bytes, byte-identical, X-Timing parses on both)", len(cold))
 
 	stats, err := inst.stats()
 	if err != nil {
@@ -304,12 +384,75 @@ func runSmoke(cfg service.Config) error {
 	}
 	log.Printf("smoke: /stats ok (executions %d, hits %d, misses %d)", stats.Executions, stats.Cache.Hits, stats.Cache.Misses)
 
+	if err := checkMetrics(inst, stats); err != nil {
+		return err
+	}
+
 	if err := inst.shutdown(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Print("smoke: clean shutdown")
 
 	return smokeRestart(cfg)
+}
+
+// checkMetrics scrapes /metrics after the run pair and fails unless
+// the stage histograms are present and their counts reconcile with the
+// /stats counters — the gate that keeps the metrics surface truthful.
+func checkMetrics(inst *smokeInstance, stats service.StatsDoc) error {
+	b, err := inst.get("/metrics")
+	if err != nil {
+		return err
+	}
+	text := string(b)
+	// Every stage histogram family member must be present.
+	for _, stage := range obs.StageNames {
+		series := fmt.Sprintf("thermbal_stage_duration_seconds_count{stage=%q}", stage)
+		if _, ok := metricValue(text, series); !ok {
+			return fmt.Errorf("/metrics missing %s", series)
+		}
+	}
+	// Counts must reconcile with /stats: one engine run means one
+	// execute-stage observation, and the cache counters match the
+	// outcome-labelled request counters.
+	reconcile := []struct {
+		series string
+		want   float64
+	}{
+		{`thermbal_stage_duration_seconds_count{stage="execute"}`, float64(stats.Executions)},
+		{`thermbal_executions_total`, float64(stats.Executions)},
+		{`thermbal_requests_total{endpoint="run",outcome="miss"}`, float64(stats.Executions)},
+		{`thermbal_requests_total{endpoint="run",outcome="hit"}`, float64(stats.Cache.Hits)},
+		{`thermbal_cache_hits_total`, float64(stats.Cache.Hits)},
+		{`thermbal_cache_misses_total`, float64(stats.Cache.Misses)},
+	}
+	for _, rc := range reconcile {
+		got, ok := metricValue(text, rc.series)
+		if !ok {
+			return fmt.Errorf("/metrics missing %s", rc.series)
+		}
+		if got != rc.want {
+			return fmt.Errorf("/metrics %s = %g, inconsistent with /stats %g", rc.series, got, rc.want)
+		}
+	}
+	// The request-latency histogram must have observed both requests of
+	// the pair, and /stats must report quantiles computed from it.
+	pairCount, ok := metricValue(text, `thermbal_request_duration_seconds_count{endpoint="run",outcome="miss"}`)
+	if !ok || pairCount != 1 {
+		return fmt.Errorf("/metrics run/miss request histogram count = %g, want 1", pairCount)
+	}
+	if stats.Latency.Run.Count != 2 {
+		return fmt.Errorf("/stats latency.run.count = %d, want 2 (fresh + cached)", stats.Latency.Run.Count)
+	}
+	if stats.Latency.Execute.Count != uint64(stats.Executions) {
+		return fmt.Errorf("/stats latency.execute.count = %d, want %d", stats.Latency.Execute.Count, stats.Executions)
+	}
+	if stats.Latency.Execute.P50Ms <= 0 {
+		return fmt.Errorf("/stats latency.execute.p50_ms = %g, want > 0", stats.Latency.Execute.P50Ms)
+	}
+	log.Printf("smoke: /metrics ok (stage histograms present, counts reconcile with /stats, run p95 %.2f ms)",
+		stats.Latency.Run.P95Ms)
+	return nil
 }
 
 // smokeRestart is the restart-and-rehit pass on a throwaway data dir.
@@ -337,11 +480,11 @@ func smokeRestart(cfg service.Config) error {
 	}
 	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
 	const sweep = `{"matrix":{"scenarios":["sdr-radio"],"policies":["eb","tb"],"delta":3,"warmup_s":0.5,"measure_s":1}}`
-	cold, state, err := inst.post("/run", run)
+	cold, hdr, err := inst.post("/run", run)
 	if err != nil {
 		return err
 	}
-	if state != "miss" {
+	if state := hdr.Get("X-Cache"); state != "miss" {
 		return fmt.Errorf("restart pass: cold /run X-Cache = %q, want miss", state)
 	}
 	b, _, err := inst.post("/jobs", sweep)
@@ -380,12 +523,16 @@ func smokeRestart(cfg service.Config) error {
 		return err
 	}
 	defer inst2.svc.Close()
-	warm, state, err := inst2.post("/run", run)
+	warm, hdr, err := inst2.post("/run", run)
 	if err != nil {
 		return err
 	}
-	if state != "store" {
+	if state := hdr.Get("X-Cache"); state != "store" {
 		return fmt.Errorf("restart pass: rehit /run X-Cache = %q, want store", state)
+	}
+	// A store hit skips the engine entirely, and its X-Timing must say so.
+	if err := checkTiming(hdr, false); err != nil {
+		return fmt.Errorf("restart pass: store-hit /run: %w", err)
 	}
 	if !bytes.Equal(cold, warm) {
 		return fmt.Errorf("restart pass: rehit body differs from the pre-restart run")

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// CSVLogger appends one CSV timing record per request to a writer
+// (thermservd's -timing-log file). It is mutex-guarded — the log is an
+// offline-analysis artifact, not a hot-path structure — and reuses one
+// line buffer across records so steady-state logging allocates only
+// when a record outgrows every previous one.
+type CSVLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error // first write error; logging degrades to a no-op
+}
+
+// NewCSVLogger wraps w. When header is true (a fresh file) the column
+// header line is written first; pass false when appending to an
+// existing log.
+func NewCSVLogger(w io.Writer, header bool) *CSVLogger {
+	l := &CSVLogger{w: w}
+	if header {
+		_, l.err = io.WriteString(w, CSVHeader+"\n")
+	}
+	return l
+}
+
+// Log appends one record. Write errors are sticky and silent: a full
+// disk must degrade the timing log, never the request path.
+func (l *CSVLogger) Log(rec *TimingRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.buf = rec.AppendCSV(l.buf[:0])
+	l.buf = append(l.buf, '\n')
+	_, l.err = l.w.Write(l.buf)
+}
+
+// Err returns the first write error, if any.
+func (l *CSVLogger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so zero-allocation assertions are skipped
+// under -race.
+const raceEnabled = true

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() TimingRecord {
+	return TimingRecord{
+		Start:    time.Unix(1700000000, 123),
+		Endpoint: "run",
+		Outcome:  "miss",
+		D: [NumStages]time.Duration{
+			StageQueue:    12 * time.Microsecond,
+			StageCoalesce: 0,
+			StageExecute:  105432 * time.Microsecond,
+			StageEncode:   210 * time.Microsecond,
+			StageStore:    88 * time.Microsecond,
+		},
+		Total: 105844 * time.Microsecond,
+	}
+}
+
+func TestAppendHeaderValueRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	got := string(rec.AppendHeaderValue(nil))
+	want := "queue=12,coalesce=0,execute=105432,encode=210,store=88,total=105844"
+	if got != want {
+		t.Fatalf("header = %q, want %q", got, want)
+	}
+	parsed, err := ParseHeaderValue(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != int(NumStages)+1 {
+		t.Fatalf("parsed %d pairs, want %d", len(parsed), NumStages+1)
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if parsed[StageNames[s]] != micros(rec.D[s]) {
+			t.Errorf("stage %s = %d, want %d", StageNames[s], parsed[StageNames[s]], micros(rec.D[s]))
+		}
+	}
+	if parsed["total"] != 105844 {
+		t.Errorf("total = %d, want 105844", parsed["total"])
+	}
+}
+
+func TestParseHeaderValueRejectsMalformed(t *testing.T) {
+	for _, v := range []string{"", "queue", "=12", "queue=x", "queue=1,,total=2"} {
+		if _, err := ParseHeaderValue(v); err == nil {
+			t.Errorf("ParseHeaderValue(%q) accepted malformed input", v)
+		}
+	}
+}
+
+func TestAppendCSV(t *testing.T) {
+	rec := sampleRecord()
+	got := string(rec.AppendCSV(nil))
+	fields := strings.Split(got, ",")
+	header := strings.Split(CSVHeader, ",")
+	if len(fields) != len(header) {
+		t.Fatalf("record has %d fields, header names %d: %q", len(fields), len(header), got)
+	}
+	want := strings.Split("1700000000000000123,run,miss,12,0,105432,210,88,105844", ",")
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Errorf("field %s = %q, want %q", header[i], fields[i], want[i])
+		}
+	}
+}
+
+func TestCSVLogger(t *testing.T) {
+	var sb strings.Builder
+	l := NewCSVLogger(&sb, true)
+	rec := sampleRecord()
+	l.Log(&rec)
+	rec.Outcome = "hit"
+	l.Log(&rec)
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("log has %d lines, want header + 2 records:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != CSVHeader {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], ",hit,") {
+		t.Errorf("second record %q missing hit outcome", lines[2])
+	}
+
+	// Appending to an existing file writes no header.
+	var sb2 strings.Builder
+	NewCSVLogger(&sb2, false).Log(&rec)
+	if strings.Contains(sb2.String(), "start_unix_ns") {
+		t.Errorf("append-mode logger wrote a header: %q", sb2.String())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestCSVLoggerStickyError(t *testing.T) {
+	l := NewCSVLogger(failWriter{}, true)
+	rec := sampleRecord()
+	l.Log(&rec) // must not panic; error is sticky
+	if l.Err() == nil {
+		t.Fatal("expected a sticky write error")
+	}
+}

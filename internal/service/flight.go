@@ -3,6 +3,9 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
+
+	"thermbal/internal/obs"
 )
 
 // flightGroup coalesces concurrent executions of the same key
@@ -19,6 +22,12 @@ type flightCall struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// rec is the execution's own timing record: fn stamps its stage
+	// boundaries here, never into any caller's record — callers can
+	// abandon their wait while the detached execution keeps running.
+	// Written only by the execution goroutine before done closes, so
+	// reading it after <-done is race-free.
+	rec obs.TimingRecord
 }
 
 // Do returns the body for key, executing fn at most once across all
@@ -27,7 +36,13 @@ type flightCall struct {
 // neither starves the coalesced others nor discards the result. ctx
 // bounds only how long this caller waits. shared reports whether this
 // caller attached to an execution another caller started.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+//
+// rec carries the caller's per-request timing: a leader that saw its
+// execution complete inherits the execution's stage stamps; a waiter
+// (shared) gets its coalesce wait stamped instead — that is the stage
+// the waiter actually spent its time in, whether or not the leader's
+// execution finished in time for it.
+func (g *flightGroup) Do(ctx context.Context, key string, rec *obs.TimingRecord, fn func(er *obs.TimingRecord) ([]byte, error)) (body []byte, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = map[string]*flightCall{}
@@ -35,10 +50,13 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	if c, ok := g.calls[key]; ok {
 		g.coalesced++
 		g.mu.Unlock()
+		wait := time.Now()
 		select {
 		case <-c.done:
+			rec.D[obs.StageCoalesce] = time.Since(wait)
 			return c.body, true, c.err
 		case <-ctx.Done():
+			rec.D[obs.StageCoalesce] = time.Since(wait)
 			return nil, true, ctx.Err()
 		}
 	}
@@ -46,7 +64,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	g.calls[key] = c
 	g.mu.Unlock()
 	go func() {
-		c.body, c.err = fn()
+		c.body, c.err = fn(&c.rec)
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
@@ -54,6 +72,9 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	}()
 	select {
 	case <-c.done:
+		// The uncancelled leader inherits the execution's stage stamps
+		// (fn completed before done closed, so this read is ordered).
+		rec.D = c.rec.D
 		return c.body, false, c.err
 	case <-ctx.Done():
 		return nil, false, ctx.Err()

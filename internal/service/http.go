@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/obs"
 	"thermbal/internal/policy"
 	"thermbal/internal/scenario"
 )
@@ -27,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /matrix", s.handleMatrix)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
@@ -51,6 +54,33 @@ func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheState)
 	w.Write(body)
+}
+
+// writeTimedBody finalizes the request's timing record and writes the
+// body with its X-Cache and X-Timing headers. Total is stamped here —
+// just before the first response byte — so the header can carry it;
+// the per-stage pairs are the record the request accumulated on its
+// way through the cache/flight/execute ladder.
+func writeTimedBody(w http.ResponseWriter, body []byte, cacheState string, rec *obs.TimingRecord) {
+	rec.Outcome = cacheState
+	rec.Total = time.Since(rec.Start)
+	var buf [128]byte
+	w.Header().Set("X-Timing", string(rec.AppendHeaderValue(buf[:0])))
+	writeBody(w, body, cacheState)
+}
+
+// finishRequest observes a finished request into the metrics and the
+// timing log. Deferred by the /run and /matrix handlers so error
+// responses (outcome "error") are recorded too; a record whose
+// outcome was never set by a successful write keeps that default.
+func (s *Server) finishRequest(ep int, rec *obs.TimingRecord) {
+	if rec.Total == 0 {
+		rec.Total = time.Since(rec.Start)
+	}
+	s.metrics.observeRequest(ep, rec)
+	if s.cfg.TimingLog != nil {
+		s.cfg.TimingLog.Log(rec)
+	}
 }
 
 // errorDoc is the JSON error envelope.
@@ -132,6 +162,8 @@ func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rec := obs.TimingRecord{Start: time.Now(), Endpoint: "run", Outcome: "error"}
+	defer s.finishRequest(epRun, &rec)
 	var req Request
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeRequestError(w, err)
@@ -150,7 +182,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// The request context cancels on client disconnect: this waiter
 	// aborts, while the execution itself is detached so coalesced
 	// requests and the cache still get the result.
-	body, cacheState, err := s.executeRun(r.Context(), canon, rc)
+	body, cacheState, err := s.executeRun(r.Context(), canon, rc, &rec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nobody to answer
@@ -158,10 +190,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeBody(w, body, cacheState)
+	writeTimedBody(w, body, cacheState, &rec)
 }
 
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	rec := obs.TimingRecord{Start: time.Now(), Endpoint: "matrix", Outcome: "error"}
+	defer s.finishRequest(epMatrix, &rec)
 	var req MatrixRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeRequestError(w, err)
@@ -182,7 +216,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := canon.thermal()
 	opt.Runner = s.cfg.Runner
-	body, cacheState, err := s.executeMatrix(r.Context(), canon, mc, opt)
+	body, cacheState, err := s.executeMatrix(r.Context(), canon, mc, opt, &rec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -190,11 +224,20 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeBody(w, body, cacheState)
+	writeTimedBody(w, body, cacheState, &rec)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition of every
+// registered instrument.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A write error here means the scraper disconnected; there is
+	// nobody left to report it to.
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/obs"
 )
 
 // JobState enumerates a job's lifecycle. Pending jobs sit in the
@@ -396,6 +397,20 @@ func (m *jobManager) allCellsCached(j *job) {
 	j.progress.CachedCells = j.progress.TotalCells
 }
 
+// countState counts jobs currently in one lifecycle state (the
+// /metrics per-state gauges).
+func (m *jobManager) countState(state JobState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.order {
+		if j.state == state {
+			n++
+		}
+	}
+	return n
+}
+
 // stats counts jobs by state.
 func (m *jobManager) stats(workers int) JobStats {
 	m.mu.Lock()
@@ -428,13 +443,23 @@ func (s *Server) jobWorker() {
 			if !s.jobs.claim(j) {
 				continue // cancelled while queued
 			}
+			// claim stamped j.started under the manager lock; reading
+			// the stamps after it returned is ordered. The queue-wait
+			// histogram is the job-path analogue of the request path's
+			// queue stage: time the work sat accepted-but-unstarted.
+			s.metrics.jobQueueWait.Observe(j.started.Sub(j.submitted))
+			kind := epRun
+			if j.kind == "matrix" {
+				kind = epMatrix
+			}
 			var body []byte
 			var err error
 			switch j.kind {
 			case "matrix":
 				body, err = s.executeMatrixJob(j)
 			default:
-				body, _, err = s.executeRun(s.base, *j.run, j.rc)
+				var rec obs.TimingRecord
+				body, _, err = s.executeRun(s.base, *j.run, j.rc, &rec)
 			}
 			if err != nil && s.base.Err() != nil {
 				// The server is shutting down mid-job, not the job
@@ -444,6 +469,7 @@ func (s *Server) jobWorker() {
 				continue
 			}
 			s.jobs.finish(j, body, err)
+			s.metrics.jobDuration[kind].Observe(j.finished.Sub(j.started))
 		}
 	}
 }
@@ -466,9 +492,12 @@ func (s *Server) executeMatrixJob(j *job) ([]byte, error) {
 	}
 	// The sweep runs under the flight group on the matrix key, like the
 	// sync /matrix path: an identical sweep in flight — either form —
-	// is joined, not duplicated.
+	// is joined, not duplicated. The job's timing surfaces through the
+	// job histograms (queue wait, duration), not a request record, so
+	// the record here is a local scratch for the flight plumbing.
+	var rec obs.TimingRecord
 	ranCells := false
-	body, _, err := s.flight.Do(s.base, j.key, func() ([]byte, error) {
+	body, _, err := s.flight.Do(s.base, j.key, &rec, func(_ *obs.TimingRecord) ([]byte, error) {
 		if body, _, ok := s.lookup(j.key, true); ok {
 			return body, nil
 		}
@@ -511,7 +540,8 @@ func (s *Server) executeMatrixCells(j *job) ([]byte, error) {
 		go func(i int, cell cellTask) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			body, state, err := s.executeRun(ctx, cell.req, cell.rc)
+			var cellRec obs.TimingRecord
+			body, state, err := s.executeRun(ctx, cell.req, cell.rc, &cellRec)
 			if err != nil {
 				errOnce.Do(func() {
 					jobErr = fmt.Errorf("cell %s/%s: %w", cell.req.Scenario, cell.req.Policy, err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports that this binary was built with -race; the
+// allocation assertions skip themselves under it (the race runtime
+// instruments allocations and breaks AllocsPerRun counts).
+const raceEnabled = true

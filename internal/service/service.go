@@ -15,9 +15,12 @@
 // Endpoints: /scenarios and /policies (registry catalogues), /run
 // (synchronous, small jobs), /matrix (batched scenarios × policies
 // sweep), /jobs + /jobs/{id} (bounded async queue: submit, poll,
-// cancel), /stats (cache/coalescing/job counters) and /healthz.
-// cmd/thermservd is the binary; `thermsim -json` emits the same
-// versioned result schema through the same encoder.
+// cancel), /stats (cache/coalescing/job counters plus per-stage
+// latency quantiles), /metrics (Prometheus text exposition of the
+// same histograms) and /healthz. Every /run and /matrix response
+// carries an X-Timing header with its per-stage timings (see
+// internal/obs). cmd/thermservd is the binary; `thermsim -json` emits
+// the same versioned result schema through the same encoder.
 package service
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"thermbal/internal/experiment"
+	"thermbal/internal/obs"
 	"thermbal/internal/sim"
 	"thermbal/internal/store"
 )
@@ -64,6 +68,11 @@ type Config struct {
 	// synchronous /run accepts; longer runs must go through the async
 	// /jobs queue (default 600).
 	MaxSyncSimS float64
+	// TimingLog, when non-nil, receives one CSV record per /run and
+	// /matrix request (cmd/thermservd's -timing-log flag). Logging is
+	// off the measured path: the record is appended after the response
+	// is written.
+	TimingLog *obs.CSVLogger
 	// Store, when non-nil, is the durable content-addressed result
 	// store layered under the in-memory cache: cache misses fall
 	// through to it before executing, every executed result is
@@ -119,6 +128,7 @@ type Server struct {
 	base      context.Context
 	stop      context.CancelFunc
 	start     time.Time
+	metrics   *serverMetrics
 
 	// executions counts actual engine runs (one per coalesced group;
 	// cache and store hits execute nothing).
@@ -160,6 +170,7 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.base, s.stop = context.WithCancel(context.Background())
+	s.metrics = newServerMetrics(s)
 	s.jobs.init(cfg.QueueDepth, cfg.JobRetention)
 	s.initJournal()
 	// Journaled jobs from a previous process are re-enqueued before the
@@ -191,7 +202,15 @@ func (s *Server) Close() { s.stop() }
 // caller's wait: the execution itself is detached, so one
 // disconnecting client neither starves the coalesced others nor
 // wastes the result — it still lands in the cache and the store.
-func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, build func() ([]byte, error)) ([]byte, string, error) {
+//
+// rec is the caller's timing record. The execution stamps its own
+// stage boundaries (queue wait, execute, encode, store append) into a
+// record owned by the detached goroutine — never the caller's, which
+// may have abandoned its wait — and observes them into the stage
+// histograms itself; the caller's rec inherits the stamps only when it
+// was the leader that saw the execution through (flight.Do copies
+// them). A coalesced waiter's rec instead carries its coalesce wait.
+func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, rec *obs.TimingRecord, build func(er *obs.TimingRecord) ([]byte, error)) ([]byte, string, error) {
 	if body, state, ok := s.lookup(key, false); ok {
 		return body, state, nil
 	}
@@ -202,7 +221,7 @@ func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, bu
 	// the (uncancelled) leader — the closure completed-before Do
 	// returned.
 	leaderState := "miss"
-	body, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+	body, shared, err := s.flight.Do(ctx, key, rec, func(er *obs.TimingRecord) ([]byte, error) {
 		// Re-check under the flight: a previous leader for this key may
 		// have cached the body between our lookup and becoming leader,
 		// and the engine run is far too expensive to duplicate.
@@ -210,15 +229,29 @@ func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, bu
 			leaderState = state
 			return body, nil
 		}
+		qStart := time.Now()
 		slot <- struct{}{}
+		er.D[obs.StageQueue] = time.Since(qStart)
 		defer func() { <-slot }()
 		s.executions.Add(1)
-		body, err := build()
+		body, err := build(er)
+		stored := false
+		if err == nil {
+			s.cache.Add(key, body)
+			if s.cfg.Store != nil {
+				pStart := time.Now()
+				s.storePut(key, body)
+				er.D[obs.StageStore] = time.Since(pStart)
+				stored = true
+			}
+		}
+		// Observed here, by the detached execution itself, so the stage
+		// histogram counts equal the executions counter even when every
+		// waiter has disconnected.
+		s.metrics.observeExecution(er, stored)
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Add(key, body)
-		s.storePut(key, body)
 		return body, nil
 	})
 	if err != nil {
@@ -227,6 +260,7 @@ func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, bu
 	state := leaderState
 	if shared {
 		state = "coalesced"
+		s.metrics.stages[obs.StageCoalesce].Observe(rec.D[obs.StageCoalesce])
 	}
 	return body, state, nil
 }
@@ -284,13 +318,18 @@ func (s *Server) storePut(key string, body []byte) {
 }
 
 // executeRun serves one canonical run request on the MaxSims slots.
-func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.RunConfig) ([]byte, string, error) {
-	return s.execute(ctx, canon.Key(), s.slots, func() ([]byte, error) {
+func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.RunConfig, rec *obs.TimingRecord) ([]byte, string, error) {
+	return s.execute(ctx, canon.Key(), s.slots, rec, func(er *obs.TimingRecord) ([]byte, error) {
+		t := time.Now()
 		res, err := s.runSim(rc)
+		er.D[obs.StageExecute] = time.Since(t)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeDoc(NewRunDoc(canon, res))
+		t = time.Now()
+		body, err := EncodeDoc(NewRunDoc(canon, res))
+		er.D[obs.StageEncode] = time.Since(t)
+		return body, err
 	})
 }
 
@@ -300,17 +339,22 @@ func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.Ru
 // holds the dedicated sweep slot, not a MaxSims one — a sweep fans out
 // over its whole pool, so running them one at a time keeps total
 // engine concurrency bounded by MaxSims + Runner workers.
-func (s *Server) executeMatrix(ctx context.Context, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options) ([]byte, string, error) {
-	return s.execute(ctx, canon.Key(), s.sweepSlot, func() ([]byte, error) {
+func (s *Server) executeMatrix(ctx context.Context, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options, rec *obs.TimingRecord) ([]byte, string, error) {
+	return s.execute(ctx, canon.Key(), s.sweepSlot, rec, func(er *obs.TimingRecord) ([]byte, error) {
+		t := time.Now()
 		cells, err := s.runMatrix(s.base, mc, opt)
+		er.D[obs.StageExecute] = time.Since(t)
 		if err != nil {
 			return nil, err
 		}
+		t = time.Now()
 		doc, err := NewMatrixDoc(canon, cells)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeDoc(doc)
+		body, err := EncodeDoc(doc)
+		er.D[obs.StageEncode] = time.Since(t)
+		return body, err
 	})
 }
 
@@ -341,6 +385,9 @@ type StatsDoc struct {
 	Store *StoreStats `json:"store,omitempty"`
 	// Jobs holds the async-queue counters.
 	Jobs JobStats `json:"jobs"`
+	// Latency holds per-endpoint and per-stage p50/p95/p99, estimated
+	// from the same fixed-bucket histograms /metrics exposes.
+	Latency LatencyStats `json:"latency"`
 }
 
 // StoreStats is the /stats durable-store block: the store's own
@@ -367,6 +414,7 @@ func (s *Server) Stats() StatsDoc {
 		Coalesced:     coalesced,
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.stats(s.cfg.JobWorkers),
+		Latency:       s.metrics.latency(),
 	}
 	if s.cfg.Store != nil {
 		doc.Store = &StoreStats{
