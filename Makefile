@@ -6,9 +6,9 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm clean
+.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm smoke-spec fuzz-smoke clean
 
-check: fmt-check vet lint build race bench-smoke smoke-expm smoke-serve
+check: fmt-check vet lint build race bench-smoke smoke-expm smoke-spec smoke-serve fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -123,6 +123,24 @@ smoke-expm:
 	$(GO) run ./cmd/thermsim -scenario manycore-64 -integrator expm -warmup 1 -measure 1
 	$(GO) test -run 'ZeroAllocs' ./internal/thermal
 
+# Declarative-spec round trip through the real CLI: export a builtin
+# as a spec, run it back through -scenario-file, and require the run
+# document — content address included — byte-identical to the named
+# run's. This is the end-to-end form of the coalescing guarantee: both
+# spellings of one workload share one key.
+smoke-spec:
+	$(GO) run ./cmd/thermsim -scenario sdr-radio -dump-spec > .spec.tmp.json
+	$(GO) run ./cmd/thermsim -scenario-file .spec.tmp.json -policy tb -delta 3 -warmup 0.5 -measure 1 -json > .spec-run-a.json
+	$(GO) run ./cmd/thermsim -scenario sdr-radio -policy tb -delta 3 -warmup 0.5 -measure 1 -json > .spec-run-b.json
+	cmp .spec-run-a.json .spec-run-b.json
+	@rm -f .spec.tmp.json .spec-run-a.json .spec-run-b.json
+	@echo "smoke-spec: inline-spec run is byte-identical to the named run"
+
+# 20-second coverage-guided fuzz pass over the spec validator: no
+# panics, stable accept/reject verdicts, byte-stable round trips.
+fuzz-smoke:
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzSpecValidate$$' -fuzztime 20s
+
 # Machine-readable ns/op for the Sweep and Step benchmarks, so the perf
 # trajectory is tracked commit over commit. Each bench run is a separate
 # recipe line so a failure aborts the target instead of being masked by
@@ -165,6 +183,6 @@ endif
 # bench/coverage outputs, and stray compiled test binaries
 # (`go test -c` artifacts like thermbal.test).
 clean:
-	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out
+	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out .spec.tmp.json .spec-run-a.json .spec-run-b.json
 	@find . -name '*.test' -type f -delete
 	$(GO) clean ./...

@@ -10,6 +10,7 @@
 //	figures -only narrative
 //	figures -only matrix # scenario x policy cross product
 //	figures -scenario pipeline-d8 -only fig7
+//	figures -scenario-file my.json -only fig7
 //	figures -workers 8 -integrator rk4
 package main
 
@@ -32,20 +33,24 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 	integrator := flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive | expm")
 	scenarioFl := flag.String("scenario", "", "registered scenario for the sweep figures (default sdr-radio)")
+	scenFile := flag.String("scenario-file", "", "declarative scenario spec JSON file for the sweep figures (mutually exclusive with -scenario)")
 	flag.Parse()
 
 	thermalCfg, err := cliutil.ParseIntegrator(*integrator)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := cliutil.ResolveScenario(*scenarioFl)
+	sc, sp, err := cliutil.ResolveScenarioArg(*scenarioFl, *scenFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 	opt := experiment.Options{
-		Runner:   experiment.Runner{Workers: *workers},
-		Thermal:  thermalCfg,
-		Scenario: sc.Name,
+		Runner:  experiment.Runner{Workers: *workers},
+		Thermal: thermalCfg,
+		Spec:    sp,
+	}
+	if sp == nil {
+		opt.Scenario = sc.Name
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -137,6 +142,9 @@ func main() {
 	// opt-in: it is far larger than the paper's evaluation. -scenario
 	// restricts it (comma list or 'all'), matching thermsim -matrix.
 	if *only == "matrix" {
+		if *scenFile != "" {
+			log.Fatal("-scenario-file does not apply to -only matrix (matrix axes are registered names)")
+		}
 		var mcfg experiment.MatrixConfig
 		if *scenarioFl != "" {
 			mcfg.Scenarios, err = cliutil.ResolveScenarios(*scenarioFl)

@@ -9,6 +9,7 @@
 //	sweep -package mobile        # one package
 //	sweep -deltas 2,3,4,5,6      # custom thresholds
 //	sweep -scenario pipeline-d8  # sweep a synthetic scenario
+//	sweep -scenario-file my.json # sweep a declarative scenario spec
 //	sweep -workers 8             # spread the runs over 8 workers
 //	sweep -integrator rk4        # higher-order thermal integration
 package main
@@ -32,6 +33,7 @@ func main() {
 		pkgName    = flag.String("package", "both", "mobile | highperf | both")
 		deltaStr   = flag.String("deltas", "", "comma-separated thresholds (default 2,3,4,5)")
 		scenarioFl = flag.String("scenario", "", "registered scenario to sweep (default sdr-radio)")
+		scenFile   = flag.String("scenario-file", "", "declarative scenario spec JSON file (mutually exclusive with -scenario)")
 		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		integrator = flag.String("integrator", "euler", "thermal integrator: euler | rk4 | rk4-adaptive | expm")
 	)
@@ -45,14 +47,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc, err := cliutil.ResolveScenario(*scenarioFl)
+	sc, sp, err := cliutil.ResolveScenarioArg(*scenarioFl, *scenFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 	opt := experiment.Options{
-		Runner:   experiment.Runner{Workers: *workers},
-		Thermal:  thermalCfg,
-		Scenario: sc.Name,
+		Runner:  experiment.Runner{Workers: *workers},
+		Thermal: thermalCfg,
+		Spec:    sp,
+	}
+	if sp == nil {
+		opt.Scenario = sc.Name
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -70,7 +75,7 @@ func main() {
 		log.Fatalf("unknown package %q", *pkgName)
 	}
 
-	if *scenarioFl != "" {
+	if *scenarioFl != "" || *scenFile != "" {
 		fmt.Printf("scenario: %s (%s)\n\n", sc.Name, sc.Topology)
 	}
 	var mob, hp []experiment.SweepPoint

@@ -14,6 +14,8 @@
 //	thermsim -policy stop-go -delta 2 -package highperf -measure 30
 //	thermsim -policy thermal-balance -trace run.csv -events ev.csv
 //	thermsim -policy tb -delta 3 -json      # the service's /run document
+//	thermsim -scenario-file custom.json -policy tb   # declarative spec file
+//	thermsim -scenario video-decoder -dump-spec      # export a builtin as a spec
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 		list       = flag.Bool("list", false, "list registered scenarios and policies, then exit")
 		matrix     = flag.Bool("matrix", false, "run the scenario x policy cross product")
 		scenarioFl = flag.String("scenario", "", "scenario name (default sdr-radio; comma list or 'all' with -matrix)")
+		scenFile   = flag.String("scenario-file", "", "declarative scenario spec JSON file (mutually exclusive with -scenario)")
+		dumpSpec   = flag.Bool("dump-spec", false, "print the selected scenario's declarative spec as JSON and exit")
 		policyName = flag.String("policy", "", "policy name or alias, 'all' to compare every registered policy (default: the scenario's)")
 		delta      = flag.Float64("delta", 0, "threshold distance from mean temperature in °C (default: the scenario's)")
 		pkgName    = flag.String("package", "mobile", "thermal package: mobile | highperf")
@@ -59,6 +63,19 @@ func main() {
 		return
 	}
 
+	if *dumpSpec {
+		sc, _, err := cliutil.ResolveScenarioArg(*scenarioFl, *scenFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := cliutil.SpecJSON(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
 	thermalCfg, err := cliutil.ParseIntegrator(*integrator)
 	if err != nil {
 		log.Fatal(err)
@@ -75,6 +92,9 @@ func main() {
 	if *matrix {
 		if *traceOut != "" || *eventsOut != "" {
 			log.Fatal("-trace/-events require a single run, not -matrix")
+		}
+		if *scenFile != "" {
+			log.Fatal("-scenario-file requires a single run, not -matrix (matrix axes are registered names)")
 		}
 		if *jsonOut {
 			log.Fatal("-json requires a single run, not -matrix")
@@ -102,11 +122,19 @@ func main() {
 		if *recreate {
 			mech = "task-recreation"
 		}
-		canon, rc, err := service.Canonicalize(service.Request{
+		req := service.Request{
 			Scenario: *scenarioFl, Policy: *policyName, Delta: *delta,
 			Package: *pkgName, WarmupS: *warmup, MeasureS: *measure,
 			QueueCap: *queueCap, Mechanism: mech, Integrator: *integrator,
-		})
+		}
+		if *scenFile != "" {
+			sp, err := cliutil.LoadSpec(*scenFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			req.Spec = &sp
+		}
+		canon, rc, err := service.Canonicalize(req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -126,7 +154,7 @@ func main() {
 		return
 	}
 
-	sc, err := cliutil.ResolveScenario(*scenarioFl)
+	sc, sp, err := cliutil.ResolveScenarioArg(*scenarioFl, *scenFile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,7 +162,7 @@ func main() {
 		*delta = sc.DefaultDelta
 	}
 	rc := experiment.RunConfig{
-		Scenario:   sc.Name,
+		Spec:       sp,
 		Delta:      *delta,
 		Package:    pkg,
 		WarmupS:    *warmup,
@@ -143,6 +171,9 @@ func main() {
 		Trace:      *traceOut != "" || *eventsOut != "",
 		Thermal:    thermalCfg,
 		NoFastPath: *noFastPath,
+	}
+	if sp == nil {
+		rc.Scenario = sc.Name
 	}
 	if *recreate {
 		rc.Mechanism = migrate.Recreation
@@ -156,7 +187,7 @@ func main() {
 		if rc.Trace {
 			log.Fatal("-trace/-events require a single policy")
 		}
-		comparePolicies(rc, opt)
+		comparePolicies(sc.Name, rc, opt)
 		return
 	}
 	rc.PolicyName, err = cliutil.ResolvePolicy(polSpec)
@@ -226,7 +257,7 @@ func main() {
 // comparePolicies runs every registered policy under the same scenario
 // and configuration across the worker pool and prints a side-by-side
 // summary.
-func comparePolicies(rc experiment.RunConfig, opt experiment.Options) {
+func comparePolicies(scName string, rc experiment.RunConfig, opt experiment.Options) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	policies, err := cliutil.ResolvePolicies("all")
@@ -243,7 +274,7 @@ func comparePolicies(rc experiment.RunConfig, opt experiment.Options) {
 		log.Fatal(err)
 	}
 	fmt.Printf("scenario %s, package %s, threshold ±%.1f °C, integrator %s\n\n",
-		rc.Scenario, rc.Package, rc.Delta, opt.Thermal.Scheme)
+		scName, rc.Package, rc.Delta, opt.Thermal.Scheme)
 	fmt.Println("policy           std[°C]  spatial  misses  rate%   migr  mig/s  energy[J]")
 	for i, pol := range policies {
 		r := results[i]

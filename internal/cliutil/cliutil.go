@@ -7,7 +7,10 @@
 package cliutil
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,16 +81,84 @@ func unknownNameError(kind, name, suggestion string, known []string) error {
 
 // ResolveScenario resolves a -scenario flag value to a registered
 // scenario. An empty value selects the paper's SDR benchmark; unknown
-// names get a did-you-mean suggestion plus the full catalogue.
+// names get a did-you-mean suggestion plus the full catalogue — unless
+// the name is an existing file path, in which case the user almost
+// certainly meant -scenario-file and a Levenshtein suggestion would
+// only mislead.
 func ResolveScenario(name string) (scenario.Scenario, error) {
 	if name == "" {
 		name = scenario.DefaultName
 	}
 	sc, err := scenario.Lookup(name)
 	if err != nil {
+		if fi, statErr := os.Stat(name); statErr == nil && !fi.IsDir() {
+			return scenario.Scenario{}, fmt.Errorf("unknown scenario %q names an existing file — pass spec files with -scenario-file", name)
+		}
 		return scenario.Scenario{}, unknownNameError("scenario", name, Suggest(name, scenario.Names()), scenario.Names())
 	}
 	return sc, nil
+}
+
+// LoadSpec reads and strictly decodes a scenario spec file: unknown
+// fields, trailing data and validation failures are all errors, so a
+// typo'd key can never silently select a default. The returned spec is
+// normalized (defaults explicit).
+func LoadSpec(path string) (scenario.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return scenario.Spec{}, fmt.Errorf("scenario spec: %w", err)
+	}
+	var sp scenario.Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return scenario.Spec{}, fmt.Errorf("scenario spec %s: %w", path, err)
+	}
+	if dec.More() {
+		return scenario.Spec{}, fmt.Errorf("scenario spec %s: trailing data after JSON document", path)
+	}
+	n, err := sp.Normalize()
+	if err != nil {
+		return scenario.Spec{}, fmt.Errorf("scenario spec %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// ResolveScenarioArg resolves the -scenario / -scenario-file flag pair
+// every CLI shares: exactly one source wins, a file loads and compiles
+// through the spec path, a name resolves through the registry. The
+// returned spec is non-nil exactly when a file was given.
+func ResolveScenarioArg(name, file string) (scenario.Scenario, *scenario.Spec, error) {
+	if file == "" {
+		sc, err := ResolveScenario(name)
+		return sc, nil, err
+	}
+	if name != "" {
+		return scenario.Scenario{}, nil, fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	}
+	sp, err := LoadSpec(file)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	sc, err := scenario.FromSpec(sp)
+	if err != nil {
+		return scenario.Scenario{}, nil, err
+	}
+	return sc, &sp, nil
+}
+
+// SpecJSON renders a scenario's declarative spec as indented JSON (for
+// -dump-spec). Scenarios without a spec form report an error naming
+// the scenario.
+func SpecJSON(sc scenario.Scenario) ([]byte, error) {
+	if sc.Spec == nil {
+		return nil, fmt.Errorf("scenario %q has no declarative spec", sc.Name)
+	}
+	out, err := json.MarshalIndent(sc.Spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // ResolvePolicy resolves a -policy flag value (canonical name or alias)

@@ -125,6 +125,9 @@ type RunConfig struct {
 	// Scenario names a registered scenario; empty selects "sdr-radio",
 	// the paper's benchmark (preserving pre-registry behavior).
 	Scenario string
+	// Spec, when non-nil, is a declarative scenario compiled in place of
+	// a registry lookup. Mutually exclusive with Scenario.
+	Spec *scenario.Spec
 	// PolicyName, when non-empty, constructs the policy by name through
 	// the policy registry and takes precedence over Policy. It accepts
 	// any registered name or alias ("stop-go", "tb", ...).
@@ -185,11 +188,20 @@ func Run(rc RunConfig) (sim.Result, *sim.Engine, error) {
 	if rc.Delta < 0 {
 		return sim.Result{}, nil, fmt.Errorf("experiment: negative threshold delta %g", rc.Delta)
 	}
-	scName := rc.Scenario
-	if scName == "" {
-		scName = scenario.DefaultName
+	var sc scenario.Scenario
+	var err error
+	if rc.Spec != nil {
+		if rc.Scenario != "" {
+			return sim.Result{}, nil, fmt.Errorf("experiment: Scenario %q and Spec are mutually exclusive", rc.Scenario)
+		}
+		sc, err = scenario.FromSpec(*rc.Spec)
+	} else {
+		scName := rc.Scenario
+		if scName == "" {
+			scName = scenario.DefaultName
+		}
+		sc, err = scenario.Lookup(scName)
 	}
-	sc, err := scenario.Lookup(scName)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
@@ -459,10 +471,10 @@ func SweepWith(ctx context.Context, opt Options, pkg PackageSel, deltas []float6
 	}
 	policies := []PolicySel{StopGo, ThermalBalance}
 	cfgs := make([]RunConfig, 0, 1+len(policies)*len(deltas))
-	cfgs = append(cfgs, RunConfig{Policy: EnergyBalance, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario})
+	cfgs = append(cfgs, RunConfig{Policy: EnergyBalance, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario, Spec: opt.Spec})
 	for _, pol := range policies {
 		for _, d := range deltas {
-			cfgs = append(cfgs, RunConfig{Policy: pol, Delta: d, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario})
+			cfgs = append(cfgs, RunConfig{Policy: pol, Delta: d, Package: pkg, Thermal: opt.Thermal, Scenario: opt.Scenario, Spec: opt.Spec})
 		}
 	}
 	results, err := RunAll(ctx, opt.Runner, cfgs)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"thermbal/internal/scenario"
 	"thermbal/internal/sim"
 	"thermbal/internal/thermal"
 )
@@ -123,4 +124,8 @@ type Options struct {
 	// artifacts — Table2, Fig2, the ablations and the scale study —
 	// are defined on their own workloads and ignore this field.
 	Scenario string
+	// Spec, when non-nil, is the declarative scenario the sweep-style
+	// helpers compile in place of a registry lookup. Mutually exclusive
+	// with Scenario; ignored by the same paper-specific artifacts.
+	Spec *scenario.Spec
 }

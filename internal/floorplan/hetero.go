@@ -1,0 +1,73 @@
+package floorplan
+
+import "fmt"
+
+// TileRun is one run of identically scaled core tiles in a
+// heterogeneous die.
+type TileRun struct {
+	// Count is the number of tiles in the run.
+	Count int
+	// Scale multiplies the homogeneous tile geometry (1 = the paper's
+	// 2.0 x 1.4 mm tile).
+	Scale float64
+}
+
+// HeteroMPSoC returns an asymmetric (big.LITTLE-style) variant of the
+// streaming die: the tile runs sit left to right in a row, each tile a
+// scaled copy of the homogeneous core/I-cache/D-cache tile, under one
+// shared-memory strip spanning the whole die at the tallest tile's
+// height. Scaled-up tiles carry more silicon area — more thermal mass
+// and lateral spreading — which is what makes the big cores thermally
+// slower than the LITTLE ones.
+//
+// Block naming and core IDs follow StreamingMPSoC: "core<i>",
+// "icache<i>", "dcache<i>" for i in 1..n plus "sharedmem", with 0-based
+// core IDs assigned in run order.
+func HeteroMPSoC(runs []TileRun) (*Floorplan, error) {
+	n := 0
+	maxH := 0.0
+	for i, r := range runs {
+		if r.Count < 1 {
+			return nil, fmt.Errorf("floorplan: tile run %d has count %d < 1", i, r.Count)
+		}
+		if r.Scale <= 0 {
+			return nil, fmt.Errorf("floorplan: tile run %d has non-positive scale %g", i, r.Scale)
+		}
+		n += r.Count
+		if h := coreH * r.Scale; h > maxH {
+			maxH = h
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("floorplan: no tiles")
+	}
+	blocks := make([]Block, 0, 3*n+1)
+	x0 := 0.0
+	id := 0
+	for _, r := range runs {
+		s := r.Scale
+		for j := 0; j < r.Count; j++ {
+			blocks = append(blocks,
+				Block{
+					Name: fmt.Sprintf("core%d", id+1), Kind: KindCore, CoreID: id,
+					X: x0, Y: 0, W: coreW * s, H: coreH * s,
+				},
+				Block{
+					Name: fmt.Sprintf("icache%d", id+1), Kind: KindICache, CoreID: id,
+					X: x0 + coreW*s, Y: 0, W: cacheW * s, H: icacheH * s,
+				},
+				Block{
+					Name: fmt.Sprintf("dcache%d", id+1), Kind: KindDCache, CoreID: id,
+					X: x0 + coreW*s, Y: icacheH * s, W: cacheW * s, H: dcacheH * s,
+				},
+			)
+			x0 += tileW * s
+			id++
+		}
+	}
+	blocks = append(blocks, Block{
+		Name: "sharedmem", Kind: KindSharedMem, CoreID: -1,
+		X: 0, Y: maxH, W: x0, H: memH,
+	})
+	return New(blocks)
+}

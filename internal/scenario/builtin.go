@@ -3,53 +3,22 @@ package scenario
 import (
 	"fmt"
 
-	"thermbal/internal/floorplan"
-	"thermbal/internal/mpsoc"
-	"thermbal/internal/policy"
 	"thermbal/internal/sim"
 	"thermbal/internal/stream"
 	"thermbal/internal/task"
 )
 
-// graphBuilder produces the stream graph (and optional load modulator)
-// of one scenario.
-type graphBuilder func(o Options) (*stream.Graph, sim.Modulator, error)
-
-// registerBuiltin wires a graph builder into a full scenario: platform
-// assembly from the tiled floorplan, optional energy-balanced placement
-// for graphs the paper gives no hand mapping for, and a task count for
-// the catalogue.
-func registerBuiltin(s Scenario, gb graphBuilder, balance bool) {
-	cores := s.Cores
-	s.Build = func(o Options) (*Instance, error) {
-		g, mod, err := gb(o)
-		if err != nil {
-			return nil, err
-		}
-		if balance {
-			policy.BalanceMapping(g.Tasks(), cores)
-		}
-		var fp *floorplan.Floorplan
-		if cores != 3 {
-			// 3-core scenarios keep the nil default (the paper's
-			// Figure 5 die); larger platforms tile the same geometry.
-			fp = floorplan.StreamingMPSoC(cores)
-		}
-		plat, err := mpsoc.New(mpsoc.Config{Floorplan: fp, Package: o.pkg()})
-		if err != nil {
-			return nil, err
-		}
-		return &Instance{Graph: g, Platform: plat, Modulate: mod}, nil
-	}
-	g, _, err := gb(Options{})
-	if err != nil {
-		// A builtin that cannot build under default options is a
-		// programming error; failing at init beats a tasks-0 catalogue
-		// entry that only errors at run time.
-		panic(fmt.Sprintf("scenario: builtin %q does not build: %v", s.Name, err))
-	}
-	s.Tasks = g.NumTasks()
-	Register(s)
+// builtinDef pairs one catalogue scenario with the legacy Go graph
+// builder it originated from and the construction constants needed to
+// lift that build into a declarative spec. Registration derives the
+// spec from a default-options build and wires Build to Compile, so
+// every builtin runs through the same compiler as inline and file
+// specs; the builder itself stays around as the reference the
+// bit-for-bit equivalence test replays.
+type builtinDef struct {
+	sc   Scenario
+	meta builtinMeta
+	gb   func(o Options) (*stream.Graph, error)
 }
 
 // Bursty modulation constants: every burstPeriodS the hot and cold task
@@ -63,23 +32,24 @@ const (
 )
 
 // phaseShiftModulator alternates the loads of even- and odd-indexed
-// tasks around their construction-time baselines.
-func phaseShiftModulator(g *stream.Graph) sim.Modulator {
+// tasks around their construction-time baselines: every periodS the
+// groups swap, scaling by hi / lo.
+func phaseShiftModulator(g *stream.Graph, periodS, hi, lo float64) sim.Modulator {
 	base := make([]float64, g.NumTasks())
 	for i, t := range g.Tasks() {
 		base[i] = t.FSE
 	}
 	last := -1
 	return func(now float64, tasks []*task.Task) bool {
-		phase := int(now/burstPeriodS) % 2
+		phase := int(now/periodS) % 2
 		if phase == last {
 			return false
 		}
 		last = phase
 		for i, t := range tasks {
-			f := burstLo
+			f := lo
 			if (i%2 == 0) == (phase == 0) {
-				f = burstHi
+				f = hi
 			}
 			t.FSE = min(base[i]*f, 1)
 		}
@@ -87,50 +57,102 @@ func phaseShiftModulator(g *stream.Graph) sim.Modulator {
 	}
 }
 
-func init() {
-	// The two paper workloads, with their hand mappings.
-	registerBuiltin(Scenario{
-		Name:          DefaultName,
-		Description:   "the paper's Software Defined FM Radio (Figure 6, Table 2 mapping)",
-		Topology:      "pipeline with 3-way equalizer split",
-		Cores:         3,
-		DefaultPolicy: "thermal-balance",
-		DefaultDelta:  3,
-	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-		g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
-		return g, nil, err
-	}, false)
-
-	registerBuiltin(Scenario{
-		Name:          "video-decoder",
-		Description:   "software video decoder pipeline, deliberately unbalanced first-fit mapping",
-		Topology:      "pipeline with 2-way IDCT split",
-		Cores:         3,
-		DefaultPolicy: "thermal-balance",
-		DefaultDelta:  3,
-	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-		g, err := stream.BuildVideo(stream.SDRConfig{QueueCap: o.QueueCap})
-		return g, nil, err
-	}, false)
+// builtinDefs returns the full catalogue definition table. It is a
+// function rather than a package variable so the equivalence test can
+// obtain fresh closures without sharing state with the registry.
+func builtinDefs() []builtinDef {
+	defs := []builtinDef{
+		// The two paper workloads, with their hand mappings.
+		{
+			sc: Scenario{
+				Name:          DefaultName,
+				Description:   "the paper's Software Defined FM Radio (Figure 6, Table 2 mapping)",
+				Topology:      "pipeline with 3-way equalizer split",
+				Cores:         3,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  3,
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.DefaultFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        3,
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
+			},
+		},
+		{
+			sc: Scenario{
+				Name:          "video-decoder",
+				Description:   "software video decoder pipeline, deliberately unbalanced first-fit mapping",
+				Topology:      "pipeline with 2-way IDCT split",
+				Cores:         3,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  3,
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.VideoFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        3,
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.BuildVideo(stream.SDRConfig{QueueCap: o.QueueCap})
+			},
+		},
+		// Bursty phase-shifting load on the SDR graph: the hot spot
+		// moves between task groups every few seconds, so a static
+		// mapping is wrong half the time by construction.
+		{
+			sc: Scenario{
+				Name:          "bursty-sdr",
+				Description:   "SDR graph with phase-shifting load (hot/cold task groups swap every 4 s)",
+				Topology:      "SDR pipeline, FSE modulated over time",
+				Cores:         3,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  3,
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.DefaultFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        3,
+				modulation:   &ModulationSpec{Kind: ModPhaseShift},
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
+			},
+		},
+	}
 
 	// Deep pipelines: every stage sits on the critical path, so freeze
 	// filtering decides whether migrations are affordable at all.
 	for _, depth := range []int{4, 8, 16} {
 		depth := depth
-		registerBuiltin(Scenario{
-			Name:          fmt.Sprintf("pipeline-d%d", depth),
-			Description:   fmt.Sprintf("deep linear pipeline, %d seeded-load stages on the critical path", depth),
-			Topology:      fmt.Sprintf("pipeline depth %d", depth),
-			Cores:         3,
-			DefaultPolicy: "thermal-balance",
-			DefaultDelta:  3,
-			Seed:          int64(depth),
-		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-			g, err := stream.BuildPipeline(stream.PipelineConfig{
-				Depth: depth, Seed: int64(depth), QueueCap: o.QueueCap,
-			})
-			return g, nil, err
-		}, true)
+		defs = append(defs, builtinDef{
+			sc: Scenario{
+				Name:          fmt.Sprintf("pipeline-d%d", depth),
+				Description:   fmt.Sprintf("deep linear pipeline, %d seeded-load stages on the critical path", depth),
+				Topology:      fmt.Sprintf("pipeline depth %d", depth),
+				Cores:         3,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  3,
+				Seed:          int64(depth),
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.DefaultFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        3,
+				balanced:     true,
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.BuildPipeline(stream.PipelineConfig{
+					Depth: depth, Seed: int64(depth), QueueCap: o.QueueCap,
+				})
+			},
+		})
 	}
 
 	// Fan-out/fan-in: many same-shape workers make the pairing space
@@ -144,64 +166,103 @@ func init() {
 		{8, 88, "skewed 8-way fan-out/fan-in with seeded worker loads"},
 	} {
 		fc := fc
-		registerBuiltin(Scenario{
-			Name:          fmt.Sprintf("fanout-w%d", fc.width),
-			Description:   fc.desc,
-			Topology:      fmt.Sprintf("split/join width %d", fc.width),
-			Cores:         3,
-			DefaultPolicy: "thermal-balance",
-			DefaultDelta:  3,
-			Seed:          fc.seed,
-		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-			g, err := stream.BuildFanOut(stream.FanConfig{
-				Width: fc.width, Seed: fc.seed, QueueCap: o.QueueCap,
-			})
-			return g, nil, err
-		}, true)
+		defs = append(defs, builtinDef{
+			sc: Scenario{
+				Name:          fmt.Sprintf("fanout-w%d", fc.width),
+				Description:   fc.desc,
+				Topology:      fmt.Sprintf("split/join width %d", fc.width),
+				Cores:         3,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  3,
+				Seed:          fc.seed,
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.DefaultFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        3,
+				balanced:     true,
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.BuildFanOut(stream.FanConfig{
+					Width: fc.width, Seed: fc.seed, QueueCap: o.QueueCap,
+				})
+			},
+		})
 	}
-
-	// Bursty phase-shifting load on the SDR graph: the hot spot moves
-	// between task groups every few seconds, so a static mapping is
-	// wrong half the time by construction.
-	registerBuiltin(Scenario{
-		Name:          "bursty-sdr",
-		Description:   "SDR graph with phase-shifting load (hot/cold task groups swap every 4 s)",
-		Topology:      "SDR pipeline, FSE modulated over time",
-		Cores:         3,
-		DefaultPolicy: "thermal-balance",
-		DefaultDelta:  3,
-	}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-		g, err := stream.BuildSDR(stream.SDRConfig{QueueCap: o.QueueCap})
-		if err != nil {
-			return nil, nil, err
-		}
-		return g, phaseShiftModulator(g), nil
-	}, false)
 
 	// Many-core scaling: generated workloads on platforms built by
 	// tiling the MPSoC floorplan, ~0.45 FSE budget per core. Shorter
 	// default windows keep the full matrix tractable.
 	for _, n := range []int{8, 16, 32, 64, 128, 256} {
 		n := n
-		registerBuiltin(Scenario{
-			Name:          fmt.Sprintf("manycore-%d", n),
-			Description:   fmt.Sprintf("seeded split/join workload on a %d-core tiled die", n),
-			Topology:      fmt.Sprintf("generated split/join, %d cores", n),
-			Cores:         n,
-			WarmupS:       5,
-			MeasureS:      10,
-			DefaultPolicy: "thermal-balance",
-			DefaultDelta:  2,
-			Seed:          int64(n),
-		}, func(o Options) (*stream.Graph, sim.Modulator, error) {
-			g, err := stream.Generate(stream.GenConfig{
-				Seed:     int64(n),
-				Stages:   n/2 + 4,
-				MaxWidth: 3,
-				TotalFSE: 0.45 * float64(n),
-				QueueCap: o.QueueCap,
-			})
-			return g, nil, err
-		}, true)
+		defs = append(defs, builtinDef{
+			sc: Scenario{
+				Name:          fmt.Sprintf("manycore-%d", n),
+				Description:   fmt.Sprintf("seeded split/join workload on a %d-core tiled die", n),
+				Topology:      fmt.Sprintf("generated split/join, %d cores", n),
+				Cores:         n,
+				WarmupS:       5,
+				MeasureS:      10,
+				DefaultPolicy: "thermal-balance",
+				DefaultDelta:  2,
+				Seed:          int64(n),
+			},
+			meta: builtinMeta{
+				framePeriodS: stream.DefaultFramePeriod,
+				fmaxHz:       533e6,
+				queueCap:     stream.DefaultQueueCap,
+				cores:        n,
+				balanced:     true,
+			},
+			gb: func(o Options) (*stream.Graph, error) {
+				return stream.Generate(stream.GenConfig{
+					Seed:     int64(n),
+					Stages:   n/2 + 4,
+					MaxWidth: 3,
+					TotalFSE: 0.45 * float64(n),
+					QueueCap: o.QueueCap,
+				})
+			},
+		})
+	}
+	return defs
+}
+
+// registerBuiltin lifts a definition's default-options build into a
+// normalized spec, wires Build to compile that spec, and registers the
+// result. Failing at init beats a catalogue entry that only errors at
+// run time.
+func registerBuiltin(d builtinDef) {
+	g, err := d.gb(Options{})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: builtin %q does not build: %v", d.sc.Name, err))
+	}
+	sp, err := deriveSpec(g, d.meta)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: builtin %q: %v", d.sc.Name, err))
+	}
+	sp.Name = d.sc.Name
+	sp.Description = d.sc.Description
+	sp.WarmupS = d.sc.WarmupS
+	sp.MeasureS = d.sc.MeasureS
+	sp.DefaultPolicy = d.sc.DefaultPolicy
+	sp.DefaultDelta = d.sc.DefaultDelta
+	n, err := sp.Normalize()
+	if err != nil {
+		panic(fmt.Sprintf("scenario: builtin %q spec invalid: %v", d.sc.Name, err))
+	}
+	s := d.sc
+	s.Tasks = g.NumTasks()
+	s.Spec = &n
+	s.Build = func(o Options) (*Instance, error) {
+		return Compile(n, o)
+	}
+	Register(s)
+}
+
+func init() {
+	for _, d := range builtinDefs() {
+		registerBuiltin(d)
 	}
 }

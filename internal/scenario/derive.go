@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thermbal/internal/stream"
+	"thermbal/internal/task"
+)
+
+// builtinMeta carries the construction constants a Go graph builder
+// used, so deriveSpec can lift its output into a spec without
+// reverse-engineering floats (recomputing FMaxHz from CyclesPerFrame
+// could be a ulp off, and bit-for-bit recompilation depends on the
+// exact constants).
+type builtinMeta struct {
+	framePeriodS float64
+	fmaxHz       float64
+	queueCap     int // the builder's default capacity
+	cores        int
+	balanced     bool
+	modulation   *ModulationSpec
+}
+
+// deriveSpec lifts a built stream graph into the declarative spec that
+// compiles back to it exactly: queues and tasks in registration order
+// (order is semantic — it fixes the engine's scheduling indices),
+// defaultable values recorded as defaults so run-time overrides keep
+// working, everything else verbatim.
+func deriveSpec(g *stream.Graph, m builtinMeta) (Spec, error) {
+	sp := Spec{SpecVersion: SpecVersionV1}
+	gs := &sp.Graph
+	gs.FramePeriodS = m.framePeriodS
+	gs.FMaxHz = m.fmaxHz
+	gs.QueueCap = m.queueCap
+	gs.Placement = PlacementExplicit
+	if m.balanced {
+		gs.Placement = PlacementBalanced
+	}
+
+	for qi := 0; qi < g.NumQueues(); qi++ {
+		q := g.Queue(qi)
+		qs := QueueSpec{Name: q.Name()}
+		if q.Cap() != m.queueCap {
+			qs.Cap = q.Cap()
+		}
+		gs.Queues = append(gs.Queues, qs)
+	}
+	for ti, t := range g.Tasks() {
+		ts := TaskSpec{Name: t.Name, FSE: t.FSE}
+		// The compiler re-binds work from the recorded constants; a
+		// mismatch here means the builder used others.
+		if want := t.FSE * m.fmaxHz * m.framePeriodS; want != t.CyclesPerFrame {
+			return Spec{}, fmt.Errorf("scenario: task %q work %g does not derive from fmax %g x period %g",
+				t.Name, t.CyclesPerFrame, m.fmaxHz, m.framePeriodS)
+		}
+		for _, qi := range g.Inputs(ti) {
+			ts.Inputs = append(ts.Inputs, g.Queue(qi).Name())
+		}
+		for _, qi := range g.Outputs(ti) {
+			ts.Outputs = append(ts.Outputs, g.Queue(qi).Name())
+		}
+		if t.StateBytes != task.DefaultStateBytes {
+			ts.StateBytes = t.StateBytes
+		}
+		if t.CodeBytes != task.DefaultCodeBytes {
+			ts.CodeBytes = t.CodeBytes
+		}
+		if !m.balanced {
+			core := t.Core
+			ts.Core = &core
+		}
+		gs.Tasks = append(gs.Tasks, ts)
+	}
+
+	srcQ, srcPeriod := g.SourceConfig()
+	gs.Source = SourceSpec{Queue: g.Queue(srcQ).Name(), PeriodS: srcPeriod}
+	sinkQ, sinkPeriod, prefill := g.SinkConfig()
+	gs.Sink = SinkSpec{Queue: g.Queue(sinkQ).Name(), PeriodS: sinkPeriod}
+	if prefill != (g.Queue(sinkQ).Cap()+1)/2 {
+		// Anything but the half-capacity default is recorded verbatim;
+		// the default stays derived so it follows capacity overrides.
+		gs.Sink.Prefill = prefill
+	}
+
+	sp.Platform = PlatformSpec{Cores: m.cores}
+	sp.Modulation = m.modulation
+	return sp, nil
+}
+
+// Generate returns the deterministic scenario spec for a seed: a
+// split/join streaming workload with seeded widths and loads on a
+// tiled die sized to the seed's draw. The spec — and therefore its
+// content address — is a pure function of the seed, so generated
+// workloads cache, persist and coalesce like built-ins.
+func Generate(seed int64) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	cores := 4 << rng.Intn(3) // 4, 8 or 16
+	stages := cores/2 + 2 + rng.Intn(3)
+	maxWidth := 2 + rng.Intn(2)
+	totalFSE := (0.30 + 0.25*rng.Float64()) * float64(cores)
+	g, err := stream.Generate(stream.GenConfig{
+		Seed:     seed,
+		Stages:   stages,
+		MaxWidth: maxWidth,
+		TotalFSE: totalFSE,
+	})
+	if err != nil {
+		// The parameter ranges above always satisfy the generator's
+		// load floor; a failure is a programming error.
+		panic(fmt.Sprintf("scenario: Generate(%d): %v", seed, err))
+	}
+	sp, err := deriveSpec(g, builtinMeta{
+		framePeriodS: stream.DefaultFramePeriod,
+		fmaxHz:       533e6,
+		queueCap:     stream.DefaultQueueCap,
+		cores:        cores,
+		balanced:     true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: Generate(%d): %v", seed, err))
+	}
+	sp.Name = fmt.Sprintf("gen-%d", seed)
+	sp.Description = fmt.Sprintf("seeded split/join workload (seed %d) on a %d-core tiled die", seed, cores)
+	sp.WarmupS = 5
+	sp.MeasureS = 10
+	sp.DefaultPolicy = "thermal-balance"
+	sp.DefaultDelta = 2
+	n, err := sp.Normalize()
+	if err != nil {
+		panic(fmt.Sprintf("scenario: Generate(%d): %v", seed, err))
+	}
+	return n
+}

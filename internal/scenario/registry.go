@@ -13,7 +13,11 @@ const DefaultName = "sdr-radio"
 var reg = struct {
 	sync.RWMutex
 	scenarios map[string]Scenario
-}{scenarios: map[string]Scenario{}}
+	// bySpec maps a scenario's canonical spec hash to its name, so an
+	// inline spec identical to a builtin resolves to the same content
+	// address the named request would.
+	bySpec map[string]string
+}{scenarios: map[string]Scenario{}, bySpec: map[string]string{}}
 
 // Register adds a scenario to the registry. It panics on an empty or
 // duplicate name — registration happens at init time, so both are
@@ -31,6 +35,25 @@ func Register(s Scenario) {
 		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
 	}
 	reg.scenarios[s.Name] = s
+	if s.Spec != nil {
+		if h := s.Spec.Hash(); reg.bySpec[h] == "" {
+			reg.bySpec[h] = s.Name
+		}
+	}
+}
+
+// BuiltinNameForSpec reports the registered scenario whose canonical
+// spec equals sp, if any. Callers use it to collapse an inline spec
+// onto the equivalent named request so both share one content address.
+func BuiltinNameForSpec(sp Spec) (string, bool) {
+	n, err := sp.Normalize()
+	if err != nil {
+		return "", false
+	}
+	reg.RLock()
+	defer reg.RUnlock()
+	name, ok := reg.bySpec[n.Hash()]
+	return name, ok
 }
 
 // Lookup returns the named scenario. Unknown names report the
@@ -75,11 +98,15 @@ type Info struct {
 	MeasureS      float64 `json:"measure_s"`
 	DefaultPolicy string  `json:"default_policy"`
 	DefaultDelta  float64 `json:"default_delta"`
+	// SpecVersion is the declarative spec schema version the scenario
+	// exports (0 when the scenario has no spec form), so clients can
+	// feature-detect the spec path before requesting ?spec=1.
+	SpecVersion int `json:"spec_version,omitempty"`
 }
 
 // Info returns the catalogue entry for the scenario.
 func (s Scenario) Info() Info {
-	return Info{
+	info := Info{
 		Name:          s.Name,
 		Description:   s.Description,
 		Topology:      s.Topology,
@@ -90,6 +117,10 @@ func (s Scenario) Info() Info {
 		DefaultPolicy: s.DefaultPolicy,
 		DefaultDelta:  s.DefaultDelta,
 	}
+	if s.Spec != nil {
+		info.SpecVersion = s.Spec.SpecVersion
+	}
+	return info
 }
 
 // Infos returns the catalogue entries of every registered scenario,

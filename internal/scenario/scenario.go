@@ -65,6 +65,11 @@ type Scenario struct {
 	// Seed drives generated load profiles (0 for fixed topologies).
 	Seed int64
 
+	// Spec is the declarative form of the scenario, when it has one.
+	// Every builtin does (their Build compiles it); it is what
+	// /scenarios?spec=1 exports and what BuiltinNameForSpec indexes.
+	Spec *Spec
+
 	// Build instantiates the scenario.
 	Build func(o Options) (*Instance, error)
 }

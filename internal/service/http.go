@@ -141,7 +141,33 @@ type scenariosDoc struct {
 	Scenarios     []scenario.Info `json:"scenarios"`
 }
 
-func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+// scenarioSpecEntry is one /scenarios?spec=1 entry: the catalogue info
+// plus the scenario's declarative spec, ready to edit and POST back as
+// an inline "spec" request.
+type scenarioSpecEntry struct {
+	scenario.Info
+	Spec *scenario.Spec `json:"spec,omitempty"`
+}
+
+// scenariosSpecDoc is the /scenarios?spec=1 response.
+type scenariosSpecDoc struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Scenarios     []scenarioSpecEntry `json:"scenarios"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("spec") == "1" {
+		all := scenario.All()
+		entries := make([]scenarioSpecEntry, len(all))
+		for i, sc := range all {
+			entries[i] = scenarioSpecEntry{Info: sc.Info(), Spec: sc.Spec}
+		}
+		writeJSON(w, http.StatusOK, scenariosSpecDoc{
+			SchemaVersion: experiment.SchemaVersion,
+			Scenarios:     entries,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, scenariosDoc{
 		SchemaVersion: experiment.SchemaVersion,
 		Scenarios:     scenario.Infos(),

@@ -26,6 +26,12 @@ import (
 type Request struct {
 	// Scenario names a registered scenario (empty: "sdr-radio").
 	Scenario string `json:"scenario"`
+	// Spec is an inline declarative scenario, mutually exclusive with
+	// Scenario. A spec identical to a builtin's canonicalizes onto the
+	// builtin's name, so both spellings share one content address;
+	// anything else is keyed by the spec's canonical hash. The pointer
+	// is omitted empty so pre-spec documents and keys are unchanged.
+	Spec *scenario.Spec `json:"spec,omitempty"`
 	// Policy is a registered policy name or alias (empty: the
 	// scenario's default policy).
 	Policy string `json:"policy"`
@@ -78,11 +84,53 @@ func ParseMechanism(name string) (migrate.Mechanism, error) {
 // spelling or omitted defaults canonicalize identically.
 func Canonicalize(req Request) (Request, experiment.RunConfig, error) {
 	var c Request
-	sc, err := cliutil.ResolveScenario(req.Scenario)
-	if err != nil {
-		return Request{}, experiment.RunConfig{}, err
+	var sc scenario.Scenario
+	var err error
+	switch {
+	case req.Spec != nil && req.Scenario != "":
+		return Request{}, experiment.RunConfig{}, fmt.Errorf(`"spec" and "scenario" are mutually exclusive`)
+	case req.Spec != nil:
+		if name, ok := scenario.BuiltinNameForSpec(*req.Spec); ok {
+			// The spec IS a builtin: rewrite to the named request and
+			// recurse, so both spellings canonicalize — cache, coalesce
+			// and persist — to one content address. The spec's own
+			// defaults fill in first so its semantics survive the
+			// rewrite even when its labels differ from the builtin's.
+			n, nerr := req.Spec.Normalize()
+			if nerr != nil {
+				return Request{}, experiment.RunConfig{}, nerr
+			}
+			named := req
+			named.Spec = nil
+			named.Scenario = name
+			if named.Policy == "" {
+				named.Policy = n.DefaultPolicy
+			}
+			if named.Delta == 0 {
+				named.Delta = n.DefaultDelta
+			}
+			if named.WarmupS <= 0 {
+				named.WarmupS = n.WarmupS
+			}
+			if named.MeasureS <= 0 {
+				named.MeasureS = n.MeasureS
+			}
+			return Canonicalize(named)
+		}
+		sc, err = scenario.FromSpec(*req.Spec)
+		if err != nil {
+			return Request{}, experiment.RunConfig{}, err
+		}
+		// FromSpec stores the normalized spec; that is the canonical
+		// inline form (defaults explicit, field order frozen).
+		c.Spec = sc.Spec
+	default:
+		sc, err = cliutil.ResolveScenario(req.Scenario)
+		if err != nil {
+			return Request{}, experiment.RunConfig{}, err
+		}
+		c.Scenario = sc.Name
 	}
-	c.Scenario = sc.Name
 	polSpec := req.Policy
 	if polSpec == "" {
 		polSpec = sc.DefaultPolicy
@@ -123,6 +171,7 @@ func Canonicalize(req Request) (Request, experiment.RunConfig, error) {
 
 	rc := experiment.RunConfig{
 		Scenario:   c.Scenario,
+		Spec:       c.Spec,
 		PolicyName: c.Policy,
 		Delta:      c.Delta,
 		Package:    pkg,
@@ -143,9 +192,16 @@ func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // order. It is the hash pre-image, so its layout is frozen: any change
 // must bump the leading version tag.
 func (c Request) keyString() string {
+	scenarioID := c.Scenario
+	if c.Spec != nil {
+		// Inline specs are identified by their canonical hash. The
+		// "spec:" prefix cannot collide with a registered name (names
+		// never contain ':'), so the v1 scheme accommodates both.
+		scenarioID = "spec:" + c.Spec.Hash()
+	}
 	return strings.Join([]string{
 		"thermbal/run/v1",
-		"scenario=" + c.Scenario,
+		"scenario=" + scenarioID,
 		"policy=" + c.Policy,
 		"delta=" + fnum(c.Delta),
 		"package=" + c.Package,

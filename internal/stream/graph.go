@@ -367,6 +367,18 @@ func (g *Graph) ResetStreamState() {
 	}
 }
 
+// SourceConfig returns the attached source's queue index and period,
+// for deriving a declarative spec from a built graph.
+func (g *Graph) SourceConfig() (queue int, periodS float64) {
+	return g.source.queue, g.source.period
+}
+
+// SinkConfig returns the attached sink's queue index, period and
+// prefill threshold.
+func (g *Graph) SinkConfig() (queue int, periodS float64, prefill int) {
+	return g.sink.queue, g.sink.period, g.sink.prefill
+}
+
 // Inputs returns the input queue indices of task i (shared slice).
 func (g *Graph) Inputs(i int) []int { return g.inputs[i] }
 

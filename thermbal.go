@@ -186,6 +186,45 @@ func RunSummary(cfg Config) (Summary, error) {
 	return Summarize(res), nil
 }
 
+// ScenarioSpec is the declarative scenario description (schema v1):
+// the task graph with rates and loads, the platform (core count or
+// asymmetric core tiles, DVFS ladder, power coefficients, ambient) and
+// optional load modulation. Specs validate hard (cycles, dangling
+// edges, nonphysical values are structured errors) and have a frozen
+// canonical serialization, so equal specs share one content address.
+type ScenarioSpec = scenario.Spec
+
+// GenerateScenario returns the deterministic scenario spec for a seed.
+// The spec is a pure function of the seed, so generated workloads
+// cache, persist and coalesce like built-ins.
+func GenerateScenario(seed int64) ScenarioSpec { return scenario.Generate(seed) }
+
+// RunSpec executes one experiment on a declarative scenario spec
+// instead of a registered name. cfg.Scenario must be empty; every
+// other Config field applies as in Run.
+func RunSpec(sp ScenarioSpec, cfg Config) (Result, error) {
+	if cfg.Scenario != "" {
+		return Result{}, fmt.Errorf("thermbal: RunSpec with Scenario %q: the spec and a scenario name are mutually exclusive", cfg.Scenario)
+	}
+	mech := migrate.Replication
+	if cfg.Recreation {
+		mech = migrate.Recreation
+	}
+	res, _, err := experiment.Run(experiment.RunConfig{
+		Spec:       &sp,
+		PolicyName: cfg.PolicyName,
+		Policy:     cfg.Policy.sel(),
+		Delta:      cfg.Delta,
+		Package:    cfg.Package.sel(),
+		WarmupS:    cfg.WarmupS,
+		MeasureS:   cfg.MeasureS,
+		QueueCap:   cfg.QueueCap,
+		Mechanism:  mech,
+		Thermal:    cfg.Integrator.cfg(),
+	})
+	return res, err
+}
+
 // Run executes one experiment.
 func Run(cfg Config) (Result, error) {
 	mech := migrate.Replication
