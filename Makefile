@@ -6,9 +6,9 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve bench bench-smoke bench-thermal bench-json bench-diff smoke-expm smoke-spec fuzz-smoke clean
+.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve smoke-proof bench bench-smoke bench-thermal bench-json bench-diff smoke-expm smoke-spec fuzz-smoke clean
 
-check: fmt-check vet lint build race bench-smoke smoke-expm smoke-spec smoke-serve fuzz-smoke
+check: fmt-check vet lint build race bench-smoke smoke-expm smoke-spec smoke-serve smoke-proof fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,28 @@ serve:
 smoke-serve:
 	$(GO) run ./cmd/thermservd -smoke
 
+# Provenance end to end. thermservd populates a store over HTTP (a
+# /run plus a two-cell sweep), seals it, verifies inclusion proofs
+# across a kill + restart, and leaves a verification kit (data dir,
+# proof.json + the body it commits to, the pinned chain head, and a
+# copy with one body byte flipped and the CRC fixed up). thermproof
+# then re-verifies everything offline — and MUST reject the tampered
+# copy with a nonzero exit naming the tampered record's key.
+SMOKE_PROOF_DIR ?= .smoke-proof.tmp
+
+smoke-proof:
+	$(GO) run ./cmd/thermservd -smoke-proof $(SMOKE_PROOF_DIR)
+	$(GO) run ./cmd/thermproof -data-dir $(SMOKE_PROOF_DIR)/data \
+		-chain-head "$$(tr -d '\n' < $(SMOKE_PROOF_DIR)/chain-head.txt)"
+	$(GO) run ./cmd/thermproof -proof $(SMOKE_PROOF_DIR)/proof.json -body $(SMOKE_PROOF_DIR)/body.json
+	@if $(GO) run ./cmd/thermproof -data-dir $(SMOKE_PROOF_DIR)/tampered >$(SMOKE_PROOF_DIR)/tamper.log 2>&1; then \
+		echo "smoke-proof: tampered store verified clean"; exit 1; \
+	fi
+	@grep -q "$$(tr -d '\n' < $(SMOKE_PROOF_DIR)/tampered-key.txt)" $(SMOKE_PROOF_DIR)/tamper.log || \
+		{ echo "smoke-proof: thermproof did not localize the tampered key:"; cat $(SMOKE_PROOF_DIR)/tamper.log; exit 1; }
+	@echo "smoke-proof: tamper rejected and localized: $$(head -1 $(SMOKE_PROOF_DIR)/tamper.log)"
+	@rm -rf $(SMOKE_PROOF_DIR)
+
 # Wall-clock comparison of the serial vs parallel experiment runner.
 bench:
 	$(GO) test -bench 'BenchmarkSweep(Serial|Parallel)' -run '^$$' -benchtime 3x .
@@ -184,5 +206,6 @@ endif
 # (`go test -c` artifacts like thermbal.test).
 clean:
 	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out .spec.tmp.json .spec-run-a.json .spec-run-b.json
+	@rm -rf .smoke-proof.tmp
 	@find . -name '*.test' -type f -delete
 	$(GO) clean ./...

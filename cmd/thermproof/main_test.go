@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thermbal/internal/store"
+)
+
+// buildSealedStore populates a tiny store, seals it, and returns the
+// directory, a saved proof document, the body it commits to, and the
+// chain head — the same kit runSmokeProof leaves for the Makefile.
+func buildSealedStore(t *testing.T) (dir, proofPath, bodyPath, chainHead string) {
+	t.Helper()
+	dir = t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true, Version: "test-engine/1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"result":"thermproof-test"}`)
+	if err := st.Put("aaaa1111", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("bbbb2222", []byte("second body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.Proof("aaaa1111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainHead = st.Stats().ChainHead
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proofPath = filepath.Join(dir, "proof.json")
+	bodyPath = filepath.Join(dir, "body.json")
+	if err := os.WriteFile(proofPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bodyPath, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, proofPath, bodyPath, chainHead
+}
+
+func TestVerifyProofModes(t *testing.T) {
+	dir, proofPath, bodyPath, chainHead := buildSealedStore(t)
+
+	if !verifyProof(proofPath, "", "", false) {
+		t.Error("bare proof should verify")
+	}
+	if !verifyProof(proofPath, bodyPath, chainHead, true) {
+		t.Error("proof + body + pinned chain should verify")
+	}
+
+	wrongBody := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrongBody, []byte("not the committed bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if verifyProof(proofPath, wrongBody, "", true) {
+		t.Error("proof must not commit to different bytes")
+	}
+	if verifyProof(proofPath, "", "deadbeef", true) {
+		t.Error("wrong pinned chain value should fail")
+	}
+	if verifyProof(filepath.Join(dir, "missing.json"), "", "", true) {
+		t.Error("missing proof file should fail")
+	}
+	if verifyProof(proofPath, filepath.Join(dir, "missing-body.json"), "", true) {
+		t.Error("missing body file should fail")
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if verifyProof(garbled, "", "", true) {
+		t.Error("malformed proof JSON should fail")
+	}
+
+	// A tampered proof document: valid JSON, broken hash linkage.
+	raw, err := os.ReadFile(proofPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["root"] = "0000000000000000000000000000000000000000000000000000000000000000"
+	forged, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedPath := filepath.Join(dir, "forged.json")
+	if err := os.WriteFile(forgedPath, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if verifyProof(forgedPath, "", "", true) {
+		t.Error("proof with a forged root should fail")
+	}
+}
+
+func TestVerifyStoreModes(t *testing.T) {
+	dir, _, _, chainHead := buildSealedStore(t)
+
+	if !verifyStore(dir, "", false) {
+		t.Error("clean store should verify")
+	}
+	if !verifyStore(dir, chainHead, true) {
+		t.Error("clean store should verify against its own chain head")
+	}
+	if verifyStore(dir, "ffffffff", true) {
+		t.Error("wrong pinned chain head should fail")
+	}
+	if verifyStore(filepath.Join(dir, "no-such-dir"), "", true) {
+		t.Error("unreadable directory should fail")
+	}
+
+	// Flip one body byte (CRC fixed up) in the sealed segment: the
+	// scan must localize it and fail.
+	if _, err := store.TamperForTest(dir, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if verifyStore(dir, "", false) {
+		t.Error("tampered store must fail verification")
+	}
+}

@@ -22,12 +22,20 @@
 //	                                 # surface against /stats, and a
 //	                                 # kill + restart-and-rehit pass on
 //	                                 # a durable store; exit 0/1
+//	thermservd -smoke-proof DIR      # provenance self-check: populate a
+//	                                 # store under DIR over HTTP, seal
+//	                                 # it, verify inclusion proofs
+//	                                 # across a restart, and leave
+//	                                 # artifacts (data/, a tampered
+//	                                 # copy, proof.json) for offline
+//	                                 # verification with cmd/thermproof
 //
 // Endpoints: GET /scenarios, GET /policies, POST /run, POST /matrix,
-// POST/GET /jobs, GET|DELETE /jobs/{id}, GET /stats, GET /metrics,
-// GET /healthz. /run and /matrix responses carry an X-Timing header
-// (compact stage=µs pairs). The server shuts down gracefully on
-// SIGINT/SIGTERM.
+// POST/GET /jobs, GET|DELETE /jobs/{id}, GET /proof, POST /seal,
+// GET /stats, GET /metrics, GET /healthz. /run and /matrix responses
+// carry an X-Timing header (compact stage=µs pairs) and an
+// X-Content-Key header (the content address to pass to /proof). The
+// server shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -42,13 +50,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"thermbal/internal/experiment"
 	"thermbal/internal/obs"
 	"thermbal/internal/policy"
+	"thermbal/internal/provenance"
 	"thermbal/internal/scenario"
 	"thermbal/internal/service"
 	"thermbal/internal/store"
@@ -69,8 +80,10 @@ func main() {
 		maxSync    = flag.Float64("max-sync", 0, "max simulated seconds a synchronous /run accepts (default 600)")
 		dataDir    = flag.String("data-dir", "", "durable result-store directory (empty: memory-only; results and job resumability are lost on restart)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk store size budget in bytes; exceeding it compacts the log and evicts the oldest results (default 256 MiB)")
+		storeSeg   = flag.Int64("store-segment-bytes", 0, "segment rotation threshold in bytes; each rotation seals the filled segment under a Merkle root (default 8 MiB)")
 		timingLog  = flag.String("timing-log", "", "append one CSV timing record per /run and /matrix request to this file (header written when the file is new)")
 		smoke      = flag.Bool("smoke", false, "run the self-check against an ephemeral instance and exit")
+		smokeProof = flag.String("smoke-proof", "", "run the provenance self-check, leaving verification artifacts under this directory, and exit")
 	)
 	flag.Parse()
 
@@ -92,6 +105,14 @@ func main() {
 		return
 	}
 
+	if *smokeProof != "" {
+		if err := runSmokeProof(cfg, *smokeProof); err != nil {
+			log.Fatalf("smoke-proof: FAIL: %v", err)
+		}
+		log.Print("smoke-proof: PASS")
+		return
+	}
+
 	if *timingLog != "" {
 		f, err := os.OpenFile(*timingLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -110,8 +131,10 @@ func main() {
 
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir, store.Options{
-			MaxBytes: *storeMax,
-			Pinned:   service.JournalPinned,
+			MaxBytes:     *storeMax,
+			SegmentBytes: *storeSeg,
+			Pinned:       service.JournalPinned,
+			Version:      experiment.EngineVersion,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -120,6 +143,11 @@ func main() {
 		cfg.Store = st
 		sst := st.Stats()
 		log.Printf("store: %s (%d records, %d segments, %d bytes)", *dataDir, sst.Records, sst.Segments, sst.Bytes)
+		if sst.ChainLen > 0 {
+			// The chain head is the one value worth pinning out-of-band:
+			// a verifier holding it can detect manifest truncation.
+			log.Printf("store: provenance chain %d roots, head %s", sst.ChainLen, sst.ChainHead)
+		}
 		if sst.TailTruncated > 0 || sst.CorruptSegments > 0 {
 			log.Printf("store: recovered from unclean shutdown (%d tail bytes truncated, %d segments with corrupt records)",
 				sst.TailTruncated, sst.CorruptSegments)
@@ -214,6 +242,21 @@ func (i *smokeInstance) get(path string) ([]byte, error) {
 		return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, b)
 	}
 	return b, nil
+}
+
+// getStatus is get without the 200-only policy: the proof pass needs
+// to assert specific refusal codes (409 before a seal).
+func (i *smokeInstance) getStatus(path string) (int, []byte, error) {
+	resp, err := http.Get(i.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
 }
 
 func (i *smokeInstance) post(path, body string) ([]byte, http.Header, error) {
@@ -464,7 +507,10 @@ func smokeRestart(cfg service.Config) error {
 	defer os.RemoveAll(dir)
 
 	openStore := func() (*store.Store, error) {
-		return store.Open(dir, store.Options{Pinned: service.JournalPinned})
+		return store.Open(dir, store.Options{
+			Pinned:  service.JournalPinned,
+			Version: experiment.EngineVersion,
+		})
 	}
 
 	// First life: populate the store through /run and a matrix job.
@@ -565,6 +611,224 @@ func smokeRestart(cfg service.Config) error {
 		stats.Store.Serves, stats.Store.Records)
 	if err := inst2.shutdown(); err != nil {
 		return fmt.Errorf("restart pass: shutdown: %w", err)
+	}
+	return nil
+}
+
+// runSmokeProof is the provenance self-check behind `make smoke-proof`:
+// populate a durable store over HTTP (a /run plus a two-cell /matrix
+// sweep), seal it, fetch and verify inclusion proofs, restart on the
+// same directory and require the proofs bit-identical, then leave a
+// verification kit under dir for cmd/thermproof to check offline:
+//
+//	dir/data/            the sealed store, verified clean in-process
+//	dir/proof.json       the /run body's proof document, verbatim
+//	dir/body.json        the body that proof commits to
+//	dir/chain-head.txt   the chain head to pin with -chain-head
+//	dir/tampered/        a copy with ONE body byte flipped (CRC fixed
+//	                     up, so only the Merkle layer can catch it)
+//	dir/tampered-key.txt the key whose record was tampered
+func runSmokeProof(cfg service.Config, dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dataDir := filepath.Join(dir, "data")
+	openStore := func() (*store.Store, error) {
+		return store.Open(dataDir, store.Options{
+			Pinned:  service.JournalPinned,
+			Version: experiment.EngineVersion,
+		})
+	}
+
+	// First life: populate and seal.
+	st1, err := openStore()
+	if err != nil {
+		return err
+	}
+	cfg1 := cfg
+	cfg1.Store = st1
+	inst, err := startInstance(cfg1)
+	if err != nil {
+		return err
+	}
+	defer inst.svc.Close()
+	const run = `{"scenario":"sdr-radio","policy":"tb","delta":3,"warmup_s":0.5,"measure_s":1}`
+	const sweep = `{"scenarios":["sdr-radio"],"policies":["eb","tb"],"delta":3,"warmup_s":0.5,"measure_s":1}`
+	runBody, hdr, err := inst.post("/run", run)
+	if err != nil {
+		return err
+	}
+	runKey := hdr.Get("X-Content-Key")
+	if len(runKey) != 64 {
+		return fmt.Errorf("/run X-Content-Key = %q, want a 64-hex content address", runKey)
+	}
+	matrixBody, hdr, err := inst.post("/matrix", sweep)
+	if err != nil {
+		return err
+	}
+	matrixKey := hdr.Get("X-Content-Key")
+	if len(matrixKey) != 64 || matrixKey == runKey {
+		return fmt.Errorf("/matrix X-Content-Key = %q (run key %q)", matrixKey, runKey)
+	}
+	log.Printf("smoke-proof: store populated (/run + 2-cell sweep), keys stamped on both responses")
+
+	// Unsealed records must be refused, not unprovable-silently.
+	if code, _, err := inst.getStatus("/proof?key=" + runKey); err != nil || code != http.StatusConflict {
+		return fmt.Errorf("pre-seal /proof = %d (err %v), want 409", code, err)
+	}
+	if _, _, err := inst.post("/seal", ""); err != nil {
+		return err
+	}
+	proofRaw, err := inst.get("/proof?key=" + runKey)
+	if err != nil {
+		return err
+	}
+	var runProof provenance.Proof
+	if err := json.Unmarshal(proofRaw, &runProof); err != nil {
+		return fmt.Errorf("decode /proof: %w", err)
+	}
+	if err := runProof.VerifyBody(runBody); err != nil {
+		return fmt.Errorf("run proof does not verify against the served body: %w", err)
+	}
+	if runProof.Leaf.Version != experiment.EngineVersion {
+		return fmt.Errorf("run proof engine version = %q, want %q", runProof.Leaf.Version, experiment.EngineVersion)
+	}
+	matrixProofRaw, err := inst.get("/proof?key=" + matrixKey)
+	if err != nil {
+		return err
+	}
+	var matrixProof provenance.Proof
+	if err := json.Unmarshal(matrixProofRaw, &matrixProof); err != nil {
+		return fmt.Errorf("decode matrix /proof: %w", err)
+	}
+	if err := matrixProof.VerifyBody(matrixBody); err != nil {
+		return fmt.Errorf("matrix proof does not verify against the sweep body: %w", err)
+	}
+	log.Printf("smoke-proof: sealed; both proofs verify (root %s, chain pos %d)", runProof.Root, runProof.ChainPos)
+
+	// Kill-equivalent stop: the HTTP server goes away, the store is
+	// never closed. The reopened store must reconcile its manifest and
+	// serve bit-identical proofs.
+	if err := inst.shutdown(); err != nil {
+		return fmt.Errorf("first shutdown: %w", err)
+	}
+	st2, err := openStore()
+	if err != nil {
+		return fmt.Errorf("reopen store: %w", err)
+	}
+	cfg2 := cfg
+	cfg2.Store = st2
+	inst2, err := startInstance(cfg2)
+	if err != nil {
+		st2.Close()
+		return err
+	}
+	defer inst2.svc.Close()
+	warm, hdr, err := inst2.post("/run", run)
+	if err != nil {
+		return err
+	}
+	if state := hdr.Get("X-Cache"); state != "store" {
+		return fmt.Errorf("restarted /run X-Cache = %q, want store", state)
+	}
+	if got := hdr.Get("X-Content-Key"); got != runKey {
+		return fmt.Errorf("restarted X-Content-Key = %q, want %q", got, runKey)
+	}
+	if !bytes.Equal(warm, runBody) {
+		return fmt.Errorf("restarted /run body differs from the sealed one")
+	}
+	proofRaw2, err := inst2.get("/proof?key=" + runKey)
+	if err != nil {
+		return err
+	}
+	var runProof2 provenance.Proof
+	if err := json.Unmarshal(proofRaw2, &runProof2); err != nil {
+		return fmt.Errorf("decode restarted /proof: %w", err)
+	}
+	if runProof2.Root != runProof.Root || runProof2.Chain != runProof.Chain || runProof2.Index != runProof.Index {
+		return fmt.Errorf("restarted proof differs: root %s chain %s, want %s %s",
+			runProof2.Root, runProof2.Chain, runProof.Root, runProof.Chain)
+	}
+	stats, err := inst2.stats()
+	if err != nil {
+		return err
+	}
+	if stats.Store == nil || stats.Store.SealedSegments < 1 || stats.Store.TaintedSegments != 0 {
+		return fmt.Errorf("restarted store stats = %+v, want sealed segments and no taint", stats.Store)
+	}
+	chainHead := stats.Store.ChainHead
+	if err := inst2.shutdown(); err != nil {
+		return fmt.Errorf("second shutdown: %w", err)
+	}
+	if err := st2.Close(); err != nil {
+		return err
+	}
+	log.Printf("smoke-proof: restart ok (proof bit-identical, chain head %s)", chainHead)
+
+	// Leave the offline-verification kit.
+	if err := os.WriteFile(filepath.Join(dir, "proof.json"), proofRaw2, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "body.json"), runBody, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "chain-head.txt"), []byte(chainHead+"\n"), 0o644); err != nil {
+		return err
+	}
+	tamperedDir := filepath.Join(dir, "tampered")
+	if err := copyDir(dataDir, tamperedDir); err != nil {
+		return err
+	}
+	// Flip one body byte in the first sealed record and fix up the
+	// frame CRC, so nothing but the Merkle layer can notice.
+	tamperedKey, err := store.TamperForTest(tamperedDir, 1, 0)
+	if err != nil {
+		return fmt.Errorf("tamper: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tampered-key.txt"), []byte(tamperedKey+"\n"), 0o644); err != nil {
+		return err
+	}
+
+	// In-process cross-check of what thermproof will assert offline:
+	// the pristine store verifies, the tampered copy must not.
+	if _, err := store.VerifyDir(dataDir); err != nil {
+		return fmt.Errorf("pristine store fails verification: %w", err)
+	}
+	rep, err := store.VerifyDir(tamperedDir)
+	if err == nil {
+		return fmt.Errorf("tampered store verified clean")
+	}
+	if len(rep.Bad) == 0 || rep.Bad[0].Key != tamperedKey {
+		return fmt.Errorf("tamper not localized to key %s: %v", tamperedKey, err)
+	}
+	log.Printf("smoke-proof: artifacts under %s (tampered key %s localized in-process)", dir, tamperedKey)
+	return nil
+}
+
+// copyDir copies a flat directory of regular files (a store data dir:
+// segments, sidecars, the manifest).
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

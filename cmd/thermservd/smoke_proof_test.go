@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermbal/internal/service"
+	"thermbal/internal/store"
+)
+
+// TestRunSmokeProof drives the -smoke-proof self-check in-process: it
+// is the same pass `make smoke-proof` runs before handing the
+// verification kit to cmd/thermproof, so the full populate → seal →
+// restart → prove cycle is covered by `go test` alone.
+func TestRunSmokeProof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two server lifecycles with real simulations")
+	}
+	dir := filepath.Join(t.TempDir(), "kit")
+	if err := runSmokeProof(service.Config{}, dir); err != nil {
+		t.Fatalf("runSmokeProof: %v", err)
+	}
+
+	// The kit must be complete for the offline verifier.
+	for _, name := range []string{"proof.json", "body.json", "chain-head.txt", "tampered-key.txt"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("kit artifact %s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("kit artifact %s is empty", name)
+		}
+	}
+
+	// The clean data dir verifies; the tampered copy must not, and the
+	// first bad record must carry the advertised key.
+	if rep, err := store.VerifyDir(filepath.Join(dir, "data")); err != nil || len(rep.Bad) != 0 {
+		t.Fatalf("kit data dir failed verification: %v (%d bad)", err, len(rep.Bad))
+	}
+	rep, err := store.VerifyDir(filepath.Join(dir, "tampered"))
+	if err == nil || len(rep.Bad) == 0 {
+		t.Fatalf("tampered copy verified clean (err %v, %d bad)", err, len(rep.Bad))
+	}
+	wantKey, readErr := os.ReadFile(filepath.Join(dir, "tampered-key.txt"))
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if got := rep.Bad[0].Key; got != strings.TrimSpace(string(wantKey)) {
+		t.Fatalf("tampered key localized as %q, kit advertises %q", got, wantKey)
+	}
+}

@@ -16,6 +16,15 @@ import (
 // SchemaVersion is the current version of the JSON result schema.
 const SchemaVersion = 1
 
+// EngineVersion names the engine build + schema that produced a
+// result document. The store stamps it into every record at write
+// time, and provenance proofs carry it back out, so a proof attests
+// not just that bytes are intact but which engine computed them. Bump
+// the leading component when the engine's numerical behavior changes
+// (integrator semantics, scenario compilation); the schema suffix
+// tracks SchemaVersion.
+const EngineVersion = "thermbal-engine/1+schema1"
+
 // QoSSummary is the deadline/throughput block (Figures 8/10).
 type QoSSummary struct {
 	// DeadlineMisses within the measurement window.

@@ -11,10 +11,11 @@ import (
 // line buffer across records so steady-state logging allocates only
 // when a record outgrows every previous one.
 type CSVLogger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf []byte
-	err error // first write error; logging degrades to a no-op
+	mu      sync.Mutex
+	w       io.Writer
+	buf     []byte
+	err     error // first write error; logging degrades to a no-op
+	dropped uint64
 }
 
 // NewCSVLogger wraps w. When header is true (a fresh file) the column
@@ -34,11 +35,15 @@ func (l *CSVLogger) Log(rec *TimingRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
+		l.dropped++
 		return
 	}
 	l.buf = rec.AppendCSV(l.buf[:0])
 	l.buf = append(l.buf, '\n')
-	_, l.err = l.w.Write(l.buf)
+	if _, err := l.w.Write(l.buf); err != nil {
+		l.err = err
+		l.dropped++
+	}
 }
 
 // Err returns the first write error, if any.
@@ -46,4 +51,12 @@ func (l *CSVLogger) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
+}
+
+// Dropped returns how many records were discarded because of the
+// sticky write error (the failing record included).
+func (l *CSVLogger) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }

@@ -12,7 +12,9 @@ import (
 	"thermbal/internal/experiment"
 	"thermbal/internal/obs"
 	"thermbal/internal/policy"
+	"thermbal/internal/provenance"
 	"thermbal/internal/scenario"
+	"thermbal/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; simulation requests are tiny.
@@ -28,6 +30,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /policies", s.handlePolicies)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /matrix", s.handleMatrix)
+	mux.HandleFunc("GET /proof", s.handleProof)
+	mux.HandleFunc("POST /seal", s.handleSeal)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
@@ -205,10 +209,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%.0f simulated seconds exceeds the synchronous limit of %.0f; submit it to /jobs instead", sim, s.cfg.MaxSyncSimS))
 		return
 	}
+	// The content address is stamped on the response so a client can
+	// later ask /proof for this exact body without re-deriving the
+	// canonical hash.
+	key := canon.Key()
+	w.Header().Set("X-Content-Key", key)
 	// The request context cancels on client disconnect: this waiter
 	// aborts, while the execution itself is detached so coalesced
 	// requests and the cache still get the result.
-	body, cacheState, err := s.executeRun(r.Context(), canon, rc, &rec)
+	body, cacheState, err := s.executeRun(r.Context(), key, canon, rc, &rec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nobody to answer
@@ -242,7 +251,9 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := canon.thermal()
 	opt.Runner = s.cfg.Runner
-	body, cacheState, err := s.executeMatrix(r.Context(), canon, mc, opt, &rec)
+	key := canon.Key()
+	w.Header().Set("X-Content-Key", key)
+	body, cacheState, err := s.executeMatrix(r.Context(), key, canon, mc, opt, &rec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -251,6 +262,69 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeTimedBody(w, body, cacheState, &rec)
+}
+
+// proofDoc is the /proof response: a Merkle inclusion proof binding
+// one stored result body into the store's sealed, hash-chained
+// manifest (see internal/provenance for the wire fields and the
+// offline verification procedure; cmd/thermproof consumes this
+// document verbatim).
+type proofDoc struct {
+	SchemaVersion int `json:"schema_version"`
+	provenance.Proof
+}
+
+// handleProof serves GET /proof?key=<content-address>. Status maps
+// the store's refusals: 404 when the key holds no record (or the
+// server runs memory-only), 409 when the record still sits in the
+// unsealed active segment (POST /seal or wait for rotation, then
+// retry), 500 when its segment is tainted — sealed evidence no
+// longer matches the log, which a proof must never paper over.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no durable store configured; provenance proofs need thermservd -data-dir"))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?key= (the X-Content-Key of a /run or /matrix response)"))
+		return
+	}
+	t := time.Now()
+	p, err := s.cfg.Store.Proof(key)
+	s.metrics.observeProof(time.Since(t))
+	if err != nil {
+		s.proofErrors.Add(1)
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, store.ErrUnsealed):
+			writeError(w, http.StatusConflict, err)
+		default: // store.ErrTainted and anything unforeseen
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.proofsServed.Add(1)
+	writeJSON(w, http.StatusOK, proofDoc{SchemaVersion: experiment.SchemaVersion, Proof: p})
+}
+
+// handleSeal rotates the active segment early (POST /seal), sealing
+// everything written so far into the Merkle chain so /proof can serve
+// it immediately instead of waiting for the size-based rotation.
+// Idempotent: an empty active segment seals nothing.
+func (s *Server) handleSeal(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no durable store configured; sealing needs thermservd -data-dir"))
+		return
+	}
+	if err := s.cfg.Store.Seal(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

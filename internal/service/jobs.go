@@ -459,7 +459,7 @@ func (s *Server) jobWorker() {
 				body, err = s.executeMatrixJob(j)
 			default:
 				var rec obs.TimingRecord
-				body, _, err = s.executeRun(s.base, *j.run, j.rc, &rec)
+				body, _, err = s.executeRun(s.base, j.key, *j.run, j.rc, &rec)
 			}
 			if err != nil && s.base.Err() != nil {
 				// The server is shutting down mid-job, not the job
@@ -541,7 +541,7 @@ func (s *Server) executeMatrixCells(j *job) ([]byte, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			var cellRec obs.TimingRecord
-			body, state, err := s.executeRun(ctx, cell.req, cell.rc, &cellRec)
+			body, state, err := s.executeRun(ctx, cell.req.Key(), cell.req, cell.rc, &cellRec)
 			if err != nil {
 				errOnce.Do(func() {
 					jobErr = fmt.Errorf("cell %s/%s: %w", cell.req.Scenario, cell.req.Policy, err)

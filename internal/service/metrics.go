@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"thermbal/internal/obs"
+	"thermbal/internal/trace"
 )
 
 // Cache outcomes, indexed for allocation-free lookup on the hot path.
@@ -70,6 +71,9 @@ type serverMetrics struct {
 	// jobDuration is claim-to-finish, labelled by job kind.
 	jobQueueWait *obs.Histogram
 	jobDuration  [numEndpoints]*obs.Histogram
+	// proofDuration times /proof store lookups (building the Merkle
+	// path). nil on a memory-only server, which has no proofs to time.
+	proofDuration *obs.Histogram
 }
 
 // newServerMetrics registers every instrument. Registration order is
@@ -134,6 +138,57 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.storeErrors.Load()) })
 		r.NewGaugeFunc("thermbal_store_bytes", "Durable-store size on disk.",
 			func() float64 { return float64(s.cfg.Store.Stats().Bytes) })
+		// The provenance families: seal events, the sealed/unsealed
+		// record split (unsealed records are provable only after the
+		// next rotation), taint, and /proof serving. Scrape-time
+		// mirrors of the same counters /stats reports under "store".
+		m.proofDuration = r.NewHistogram("thermbal_proof_duration_seconds",
+			"Time to build one Merkle inclusion proof for /proof.", obs.DefBuckets)
+		r.NewCounterFunc("thermbal_proofs_served_total",
+			"Inclusion proofs served by /proof.",
+			func() float64 { return float64(s.proofsServed.Load()) })
+		r.NewCounterFunc("thermbal_proof_errors_total",
+			"/proof requests the store refused (unknown key, unsealed tail, tainted segment).",
+			func() float64 { return float64(s.proofErrors.Load()) })
+		r.NewCounterFunc("thermbal_store_seals_total",
+			"Segments sealed into the Merkle chain (rotation, compaction, retro-seal).",
+			func() float64 { return float64(s.cfg.Store.Stats().Seals) })
+		r.NewCounterFunc("thermbal_store_seal_errors_total",
+			"Failed seal attempts (the segment stays unsealed; records remain servable).",
+			func() float64 { return float64(s.cfg.Store.Stats().SealErrors) })
+		r.NewGaugeFunc("thermbal_store_sealed_segments",
+			"Segments sealed under a Merkle root in the provenance manifest.",
+			func() float64 { return float64(s.cfg.Store.Stats().SealedSegments) })
+		r.NewGaugeFunc("thermbal_store_unsealed_records",
+			"Records in the active segment, not yet provable (sealed at the next rotation).",
+			func() float64 { return float64(s.cfg.Store.Stats().UnsealedRecords) })
+		r.NewGaugeFunc("thermbal_store_tainted_segments",
+			"Sealed segments whose recomputed root no longer matches the manifest.",
+			func() float64 { return float64(s.cfg.Store.Stats().TaintedSegments) })
+	}
+	// Recorder drops are engine-side truncation: a capped trace means a
+	// run's CSV timeline is incomplete, which an operator should see
+	// without grepping logs.
+	r.NewCounterFunc("thermbal_trace_dropped_total",
+		"Trace samples discarded at recorder buffer caps, process-wide.",
+		func() float64 { return float64(trace.TotalDroppedSamples()) },
+		obs.L("kind", "samples"))
+	r.NewCounterFunc("thermbal_trace_dropped_total",
+		"Trace events discarded at recorder buffer caps, process-wide.",
+		func() float64 { return float64(trace.TotalDroppedEvents()) },
+		obs.L("kind", "events"))
+	if s.cfg.TimingLog != nil {
+		r.NewGaugeFunc("thermbal_timing_log_failed",
+			"1 when the timing log hit its sticky write error and stopped recording.",
+			func() float64 {
+				if s.cfg.TimingLog.Err() != nil {
+					return 1
+				}
+				return 0
+			})
+		r.NewCounterFunc("thermbal_timing_log_dropped_total",
+			"Timing records discarded after the log's sticky write error.",
+			func() float64 { return float64(s.cfg.TimingLog.Dropped()) })
 	}
 	for _, state := range []JobState{JobPending, JobRunning, JobDone, JobFailed, JobCancelled} {
 		state := state
@@ -156,6 +211,16 @@ func (m *serverMetrics) observeExecution(er *obs.TimingRecord, stored bool) {
 	m.stages[obs.StageEncode].Observe(er.D[obs.StageEncode])
 	if stored {
 		m.stages[obs.StageStore].Observe(er.D[obs.StageStore])
+	}
+}
+
+// observeProof records one /proof store lookup. Guarded because the
+// histogram is registered only on stores-backed servers; handleProof
+// rejects before the lookup when there is no store, so a nil here is
+// unreachable in practice.
+func (m *serverMetrics) observeProof(d time.Duration) {
+	if m.proofDuration != nil {
+		m.proofDuration.Observe(d)
 	}
 }
 

@@ -15,12 +15,15 @@
 // Endpoints: /scenarios and /policies (registry catalogues), /run
 // (synchronous, small jobs), /matrix (batched scenarios × policies
 // sweep), /jobs + /jobs/{id} (bounded async queue: submit, poll,
-// cancel), /stats (cache/coalescing/job counters plus per-stage
-// latency quantiles), /metrics (Prometheus text exposition of the
-// same histograms) and /healthz. Every /run and /matrix response
-// carries an X-Timing header with its per-stage timings (see
-// internal/obs). cmd/thermservd is the binary; `thermsim -json` emits
-// the same versioned result schema through the same encoder.
+// cancel), /proof (a Merkle inclusion proof for one stored result,
+// see internal/provenance), /stats (cache/coalescing/job counters
+// plus per-stage latency quantiles), /metrics (Prometheus text
+// exposition of the same histograms) and /healthz. Every /run and
+// /matrix response carries an X-Timing header with its per-stage
+// timings (see internal/obs) and an X-Content-Key header with the
+// canonical content address — the key to pass to /proof.
+// cmd/thermservd is the binary; `thermsim -json` emits the same
+// versioned result schema through the same encoder.
 package service
 
 import (
@@ -139,6 +142,12 @@ type Server struct {
 	// instead of failing the request.
 	storeServes atomic.Int64
 	storeErrors atomic.Int64
+	// proofsServed / proofErrors count /proof outcomes: served is a
+	// 200 with an inclusion proof, errors is everything the store
+	// refused (unknown key, unsealed tail, tainted segment). Together
+	// they reconcile with the /proof request count.
+	proofsServed atomic.Int64
+	proofErrors  atomic.Int64
 
 	// runSim / runMatrix are the execution seams; tests substitute
 	// them to observe or control execution counts deterministically.
@@ -318,8 +327,10 @@ func (s *Server) storePut(key string, body []byte) {
 }
 
 // executeRun serves one canonical run request on the MaxSims slots.
-func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.RunConfig, rec *obs.TimingRecord) ([]byte, string, error) {
-	return s.execute(ctx, canon.Key(), s.slots, rec, func(er *obs.TimingRecord) ([]byte, error) {
+// key is canon.Key(), computed once by the caller so the handler can
+// stamp it into the X-Content-Key header without hashing twice.
+func (s *Server) executeRun(ctx context.Context, key string, canon Request, rc experiment.RunConfig, rec *obs.TimingRecord) ([]byte, string, error) {
+	return s.execute(ctx, key, s.slots, rec, func(er *obs.TimingRecord) ([]byte, error) {
 		t := time.Now()
 		res, err := s.runSim(rc)
 		er.D[obs.StageExecute] = time.Since(t)
@@ -339,8 +350,8 @@ func (s *Server) executeRun(ctx context.Context, canon Request, rc experiment.Ru
 // holds the dedicated sweep slot, not a MaxSims one — a sweep fans out
 // over its whole pool, so running them one at a time keeps total
 // engine concurrency bounded by MaxSims + Runner workers.
-func (s *Server) executeMatrix(ctx context.Context, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options, rec *obs.TimingRecord) ([]byte, string, error) {
-	return s.execute(ctx, canon.Key(), s.sweepSlot, rec, func(er *obs.TimingRecord) ([]byte, error) {
+func (s *Server) executeMatrix(ctx context.Context, key string, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options, rec *obs.TimingRecord) ([]byte, string, error) {
+	return s.execute(ctx, key, s.sweepSlot, rec, func(er *obs.TimingRecord) ([]byte, error) {
 		t := time.Now()
 		cells, err := s.runMatrix(s.base, mc, opt)
 		er.D[obs.StageExecute] = time.Since(t)
@@ -400,6 +411,12 @@ type StoreStats struct {
 	// Errors counts store read/write failures (requests still succeed,
 	// degraded to memory-only).
 	Errors int64 `json:"errors"`
+	// ProofsServed counts /proof responses carrying an inclusion
+	// proof; ProofErrors counts /proof requests the store refused
+	// (unknown key, record still in the unsealed active segment, or a
+	// tainted segment).
+	ProofsServed int64 `json:"proofs_served"`
+	ProofErrors  int64 `json:"proof_errors"`
 }
 
 // Stats snapshots the server counters.
@@ -418,9 +435,11 @@ func (s *Server) Stats() StatsDoc {
 	}
 	if s.cfg.Store != nil {
 		doc.Store = &StoreStats{
-			Stats:  s.cfg.Store.Stats(),
-			Serves: s.storeServes.Load(),
-			Errors: s.storeErrors.Load(),
+			Stats:        s.cfg.Store.Stats(),
+			Serves:       s.storeServes.Load(),
+			Errors:       s.storeErrors.Load(),
+			ProofsServed: s.proofsServed.Load(),
+			ProofErrors:  s.proofErrors.Load(),
 		}
 	}
 	return doc

@@ -24,10 +24,19 @@
 // appends a tombstone record; compaction drops superseded records and
 // tombstones, and — when the live set still exceeds the size budget —
 // evicts the oldest unpinned records, oldest-write-first.
+//
+// On top of the CRC frames (which catch accidental damage) sits a
+// provenance layer that catches deliberate damage: every record is a
+// Merkle leaf, every segment gets a root when it is sealed (rotation,
+// compaction, or Seal), and sealed roots are hash-chained into
+// manifest.prov — see package provenance. Proof serves per-record
+// inclusion proofs, Verify / VerifyDir re-derive everything from the
+// raw bytes and localize the first divergence.
 package store
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -38,6 +47,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"thermbal/internal/provenance"
 )
 
 // Frame layout, little-endian:
@@ -49,8 +60,13 @@ import (
 // length cannot make recovery allocate gigabytes.
 const (
 	recHeaderLen = 4 + 4 + 1
-	recKindPut   = 0
+	recKindPut   = 0 // legacy put: value is the body alone (read-only)
 	recKindDel   = 1
+	// recKindPutV is the versioned put written since the provenance
+	// layer: value = u8 verLen | version | body, with the header's
+	// length field covering the whole value. Legacy kind-0 records
+	// replay as version "".
+	recKindPutV = 2
 
 	// maxKeyLen bounds record keys (cache keys are 64 hex chars; job
 	// journal keys add a short prefix).
@@ -59,6 +75,8 @@ const (
 	// tens of kilobytes; a full-catalogue matrix document is below a
 	// megabyte).
 	maxBodyLen = 64 << 20
+	// maxVerLen bounds the engine-version stamp (one length byte).
+	maxVerLen = 255
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -86,6 +104,10 @@ type Options struct {
 	// kills are always safe either way (appends reach the page cache on
 	// write); NoSync trades machine-crash durability for test speed.
 	NoSync bool
+	// Version is stamped into every record written and carried into
+	// its Merkle leaf, so a proof attests which engine produced the
+	// body, not just that the bytes are intact. At most 255 bytes.
+	Version string
 }
 
 func (o Options) fill() Options {
@@ -130,6 +152,26 @@ type Stats struct {
 	// in other segments all survive.
 	TailTruncated   int64 `json:"tail_truncated"`
 	CorruptSegments int   `json:"corrupt_segments"`
+	// SealedSegments / SealedRecords count segments under a Merkle
+	// root and the records (puts, supersessions and tombstones alike)
+	// those roots commit to; UnsealedRecords is the active tail not
+	// yet covered by any root. TaintedSegments count segments whose
+	// recomputed root no longer matches the manifest — proofs from
+	// them are refused until Verify localizes the damage.
+	SealedSegments  int `json:"sealed_segments"`
+	SealedRecords   int `json:"sealed_records"`
+	UnsealedRecords int `json:"unsealed_records"`
+	TaintedSegments int `json:"tainted_segments"`
+	// ChainLen / ChainHead describe the sealed-root hash chain: its
+	// length and latest link value (pin the head out of band to make
+	// the whole log tamper-evident, truncation included).
+	ChainLen  int    `json:"chain_len"`
+	ChainHead string `json:"chain_head,omitempty"`
+	// Seals counts sealing events since Open (rotation, compaction and
+	// retro-sealing of pre-provenance segments); SealErrors counts
+	// seals that failed to become durable (retried on the next Open).
+	Seals      uint64 `json:"seals"`
+	SealErrors uint64 `json:"seal_errors"`
 }
 
 // recordLoc locates one live record inside a segment.
@@ -139,6 +181,8 @@ type recordLoc struct {
 	size    int64 // full frame size
 	bodyLen int
 	seq     uint64 // global append order, for oldest-first eviction
+	ver     string // engine version stamped at write time (interned)
+	leafIdx int    // index into the segment's provenance leaves
 }
 
 // segment is one open log file.
@@ -146,6 +190,17 @@ type segment struct {
 	id   uint64
 	f    *os.File
 	size int64
+}
+
+// segProv is one segment's provenance state: its leaves in append
+// order, and — once sealed — the root and its manifest entry.
+type segProv struct {
+	leaves  []provenance.Leaf
+	sealed  bool
+	root    [provenance.HashSize]byte
+	entry   provenance.SealedRoot
+	corrupt bool   // replay stopped short of the segment's end
+	tainted string // non-empty: why reconciliation rejected the seal
 }
 
 // Store is the disk-backed store. All methods are safe for concurrent
@@ -164,6 +219,12 @@ type Store struct {
 	nextSeq uint64
 	stats   Stats
 	closed  bool
+
+	prov      map[uint64]*segProv
+	manifest  []provenance.SealedRoot
+	chainTail [provenance.HashSize]byte
+	chainLen  int
+	verCache  map[string]string // interns replayed version stamps
 }
 
 // Open opens (or creates) the store rooted at dir, rebuilding the
@@ -173,15 +234,45 @@ type Store struct {
 // that segment's remaining records but nothing else.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.fill()
+	if len(opts.Version) > maxVerLen {
+		return nil, fmt.Errorf("store: version stamp of %d bytes exceeds the %d limit", len(opts.Version), maxVerLen)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:   dir,
-		opts:  opts,
-		segs:  map[uint64]*segment{},
-		index: map[string]recordLoc{},
+		dir:      dir,
+		opts:     opts,
+		segs:     map[uint64]*segment{},
+		index:    map[string]recordLoc{},
+		prov:     map[uint64]*segProv{},
+		verCache: map[string]string{},
 	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		active := i == len(ids)-1
+		if err := s.openSegment(id, active); err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+	}
+	if len(s.segIDs) == 0 {
+		if err := s.newSegment(1); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.loadProvenance(); err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	return s, nil
+}
+
+// listSegments returns the segment ids under dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -196,19 +287,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for i, id := range ids {
-		active := i == len(ids)-1
-		if err := s.openSegment(id, active); err != nil {
-			s.closeLocked()
-			return nil, err
-		}
-	}
-	if len(s.segIDs) == 0 {
-		if err := s.newSegment(1); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+	return ids, nil
 }
 
 // openSegment opens one existing segment, replays its records into the
@@ -223,6 +302,7 @@ func (s *Store) openSegment(id uint64, active bool) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.prov[id] = &segProv{}
 	valid, err := s.replay(id, f)
 	if err != nil {
 		f.Close()
@@ -253,6 +333,7 @@ func (s *Store) openSegment(id uint64, active bool) error {
 			// append-only); the unreachable span is reclaimed at the
 			// next compaction.
 			s.stats.CorruptSegments++
+			s.prov[id].corrupt = true
 		}
 	}
 	seg := &segment{id: id, f: f, size: size}
@@ -263,15 +344,68 @@ func (s *Store) openSegment(id uint64, active bool) error {
 }
 
 // replay scans one segment file from the start, applying every intact
-// record to the index. It returns the offset just past the last intact
-// record. Records that fail validation stop the scan: everything
-// before them survives, everything after is unreachable (openSegment
-// classifies the stop as tail damage or corruption by whether the
-// segment was the active one).
+// record to the index and accumulating its provenance leaves. It
+// returns the offset just past the last intact record. Records that
+// fail validation stop the scan: everything before them survives,
+// everything after is unreachable (openSegment classifies the stop as
+// tail damage or corruption by whether the segment was the active
+// one).
 func (s *Store) replay(id uint64, f *os.File) (int64, error) {
+	sp := s.prov[id]
 	// Buffered: replay touches every record, and two raw syscalls per
 	// record would make reopening a full store needlessly slow.
-	br := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
+	return scanSegment(bufio.NewReaderSize(f, 1<<20), func(rec scanned) {
+		if prev, ok := s.index[rec.key]; ok {
+			s.live -= prev.size
+		}
+		ver := s.internVer(rec.ver)
+		switch rec.kind {
+		case recKindPut, recKindPutV:
+			s.index[rec.key] = recordLoc{
+				seg: id, off: rec.off, size: rec.size, bodyLen: rec.bodyLen,
+				seq: s.nextSeq, ver: ver, leafIdx: len(sp.leaves),
+			}
+			s.live += rec.size
+			sp.leaves = append(sp.leaves, provenance.Leaf{Key: rec.key, BodyHash: rec.bodyHash, Version: ver})
+		case recKindDel:
+			delete(s.index, rec.key)
+			sp.leaves = append(sp.leaves, provenance.Leaf{Key: rec.key, Deleted: true})
+		}
+		s.nextSeq++
+	})
+}
+
+// internVer deduplicates version-stamp strings rebuilt during replay
+// (one distinct stamp per engine build, repeated on every record).
+func (s *Store) internVer(v string) string {
+	if v == "" {
+		return ""
+	}
+	if c, ok := s.verCache[v]; ok {
+		return c
+	}
+	s.verCache[v] = v
+	return v
+}
+
+// scanned is one intact record decoded by scanSegment.
+type scanned struct {
+	off      int64
+	size     int64
+	kind     byte
+	key      string
+	ver      string
+	bodyLen  int
+	bodyHash [provenance.HashSize]byte // zero for tombstones
+}
+
+// scanSegment reads CRC-framed records from r until EOF or the first
+// invalid frame, calling fn for each intact record, and returns the
+// offset just past the last intact one. It is the single decoder
+// shared by replay and offline verification, so both agree on what a
+// valid record is.
+func scanSegment(r io.Reader, fn func(rec scanned)) (int64, error) {
+	br := &countingReader{r: r}
 	var off int64
 	header := make([]byte, recHeaderLen)
 	for {
@@ -280,13 +414,13 @@ func (s *Store) replay(id uint64, f *os.File) (int64, error) {
 			return off, nil
 		}
 		keyLen := binary.LittleEndian.Uint32(header[0:4])
-		bodyLen := binary.LittleEndian.Uint32(header[4:8])
+		valLen := binary.LittleEndian.Uint32(header[4:8])
 		kind := header[8]
-		if keyLen == 0 || keyLen > maxKeyLen || bodyLen > maxBodyLen ||
-			(kind != recKindPut && kind != recKindDel) {
+		if keyLen == 0 || keyLen > maxKeyLen || valLen > maxBodyLen+maxVerLen+1 ||
+			(kind != recKindPut && kind != recKindDel && kind != recKindPutV) {
 			return off, nil
 		}
-		payload := make([]byte, int(keyLen)+int(bodyLen)+4)
+		payload := make([]byte, int(keyLen)+int(valLen)+4)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return off, nil
 		}
@@ -295,21 +429,25 @@ func (s *Store) replay(id uint64, f *os.File) (int64, error) {
 		if crc != binary.LittleEndian.Uint32(payload[len(payload)-4:]) {
 			return off, nil
 		}
-		key := string(payload[:keyLen])
-		size := int64(recHeaderLen) + int64(len(payload))
-		if prev, ok := s.index[key]; ok {
-			s.live -= prev.size
+		rec := scanned{
+			off:  off,
+			size: int64(recHeaderLen) + int64(len(payload)),
+			kind: kind,
+			key:  string(payload[:keyLen]),
 		}
-		switch kind {
-		case recKindPut:
-			s.index[key] = recordLoc{
-				seg: id, off: off, size: size, bodyLen: int(bodyLen), seq: s.nextSeq,
+		val := payload[keyLen : len(payload)-4]
+		if kind == recKindPutV {
+			if len(val) < 1 || len(val) < 1+int(val[0]) {
+				return off, nil
 			}
-			s.live += size
-		case recKindDel:
-			delete(s.index, key)
+			rec.ver = string(val[1 : 1+int(val[0])])
+			val = val[1+int(val[0]):]
 		}
-		s.nextSeq++
+		rec.bodyLen = len(val)
+		if kind != recKindDel {
+			rec.bodyHash = sha256.Sum256(val)
+		}
+		fn(rec)
 	}
 }
 
@@ -338,20 +476,34 @@ func (s *Store) newSegment(id uint64) error {
 	}
 	s.segs[id] = &segment{id: id, f: f}
 	s.segIDs = append(s.segIDs, id)
+	s.prov[id] = &segProv{}
 	return nil
 }
 
 // active returns the append segment. Callers hold s.mu.
 func (s *Store) active() *segment { return s.segs[s.segIDs[len(s.segIDs)-1]] }
 
-// frame serializes one record.
-func frame(kind byte, key string, body []byte) []byte {
-	buf := make([]byte, recHeaderLen+len(key)+len(body)+4)
+// frame serializes one record. Puts are written as versioned records
+// (kind 2, value = u8 verLen | ver | body); tombstones carry neither
+// version nor body.
+func frame(kind byte, key, ver string, body []byte) []byte {
+	valLen := len(body)
+	if kind == recKindPutV {
+		valLen += 1 + len(ver)
+	}
+	buf := make([]byte, recHeaderLen+len(key)+valLen+4)
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(key)))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(valLen))
 	buf[8] = kind
 	copy(buf[recHeaderLen:], key)
-	copy(buf[recHeaderLen+len(key):], body)
+	p := recHeaderLen + len(key)
+	if kind == recKindPutV {
+		buf[p] = byte(len(ver))
+		p++
+		copy(buf[p:], ver)
+		p += len(ver)
+	}
+	copy(buf[p:], body)
 	crc := crc32.Checksum(buf[:len(buf)-4], crcTable)
 	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc)
 	return buf
@@ -389,7 +541,7 @@ func (s *Store) Put(key string, body []byte) error {
 	if len(body) > maxBodyLen {
 		return fmt.Errorf("store: body of %d bytes exceeds the %d limit", len(body), maxBodyLen)
 	}
-	return s.append(recKindPut, key, body)
+	return s.append(recKindPutV, key, body)
 }
 
 // Delete appends a tombstone for key; a missing key is a no-op (the
@@ -400,7 +552,7 @@ func (s *Store) Delete(key string) error {
 }
 
 func (s *Store) append(kind byte, key string, body []byte) error {
-	buf := frame(kind, key, body)
+	buf := frame(kind, key, s.opts.Version, body)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -427,15 +579,21 @@ func (s *Store) append(kind byte, key string, body []byte) error {
 	if prev, ok := s.index[key]; ok {
 		s.live -= prev.size
 	}
+	sp := s.prov[seg.id]
 	switch kind {
-	case recKindPut:
+	case recKindPutV:
 		s.index[key] = recordLoc{
-			seg: seg.id, off: off, size: int64(len(buf)), bodyLen: len(body), seq: s.nextSeq,
+			seg: seg.id, off: off, size: int64(len(buf)), bodyLen: len(body),
+			seq: s.nextSeq, ver: s.opts.Version, leafIdx: len(sp.leaves),
 		}
 		s.live += int64(len(buf))
 		s.stats.Puts++
+		sp.leaves = append(sp.leaves, provenance.Leaf{
+			Key: key, BodyHash: sha256.Sum256(body), Version: s.opts.Version,
+		})
 	case recKindDel:
 		delete(s.index, key)
+		sp.leaves = append(sp.leaves, provenance.Leaf{Key: key, Deleted: true})
 	}
 	s.nextSeq++
 	// Pinned-key appends never trigger the rewrite themselves: they are
@@ -455,14 +613,20 @@ func (s *Store) append(kind byte, key string, body []byte) error {
 	return nil
 }
 
-// rotateLocked seals the active segment (fsync unless NoSync) and
-// starts the next one.
+// rotateLocked seals the active segment — fsync (unless NoSync), then
+// Merkle root + chain link into the manifest — and starts the next
+// one. A seal that fails to become durable is counted and retried at
+// the next Open (retro-seal); it never blocks the append that
+// triggered the rotation.
 func (s *Store) rotateLocked() error {
 	seg := s.active()
 	if !s.opts.NoSync {
 		if err := seg.f.Sync(); err != nil {
 			return fmt.Errorf("store: sync %s: %w", s.segPath(seg.id), err)
 		}
+	}
+	if err := s.sealLocked(seg.id); err != nil {
+		s.stats.SealErrors++
 	}
 	return s.newSegment(seg.id + 1)
 }
@@ -507,12 +671,14 @@ func (s *Store) compactLocked() error {
 		newSegs  = map[uint64]*segment{}
 		newIDs   []uint64
 		newIndex = make(map[string]recordLoc, len(keep))
+		newProv  = map[uint64]*segProv{}
 		newTotal int64
 	)
 	fail := func(err error) error {
 		for _, seg := range newSegs {
 			seg.f.Close()
 			os.Remove(s.segPath(seg.id))
+			os.Remove(provenance.SidecarPath(s.dir, seg.id))
 		}
 		return err
 	}
@@ -525,24 +691,23 @@ func (s *Store) compactLocked() error {
 		seg := &segment{id: nextID, f: f}
 		newSegs[nextID] = seg
 		newIDs = append(newIDs, nextID)
+		newProv[nextID] = &segProv{}
 		nextID++
 		return seg, nil
 	}
-	seg, err := openNew()
-	if err != nil {
-		return fail(err)
-	}
+	var seg *segment
 	for _, r := range keep {
 		buf := make([]byte, r.loc.size)
 		if _, err := s.segs[r.loc.seg].f.ReadAt(buf, r.loc.off); err != nil {
 			return fail(fmt.Errorf("store: compact read: %w", err))
 		}
-		if seg.size > 0 && seg.size+int64(len(buf)) > s.opts.SegmentBytes {
-			if !s.opts.NoSync {
+		if seg == nil || (seg.size > 0 && seg.size+int64(len(buf)) > s.opts.SegmentBytes) {
+			if seg != nil && !s.opts.NoSync {
 				if err := seg.f.Sync(); err != nil {
 					return fail(fmt.Errorf("store: compact sync: %w", err))
 				}
 			}
+			var err error
 			if seg, err = openNew(); err != nil {
 				return fail(err)
 			}
@@ -550,16 +715,68 @@ func (s *Store) compactLocked() error {
 		if _, err := seg.f.WriteAt(buf, seg.size); err != nil {
 			return fail(fmt.Errorf("store: compact write: %w", err))
 		}
+		sp := newProv[seg.id]
 		newIndex[r.key] = recordLoc{
-			seg: seg.id, off: seg.size, size: r.loc.size, bodyLen: r.loc.bodyLen, seq: r.loc.seq,
+			seg: seg.id, off: seg.size, size: r.loc.size, bodyLen: r.loc.bodyLen,
+			seq: r.loc.seq, ver: r.loc.ver, leafIdx: len(sp.leaves),
 		}
+		// Frames are copied byte-for-byte, so each survivor's leaf —
+		// already computed when the record was first written or
+		// replayed — carries over unchanged.
+		sp.leaves = append(sp.leaves, s.prov[r.loc.seg].leaves[r.loc.leafIdx])
 		seg.size += int64(len(buf))
 		newTotal += int64(len(buf))
 	}
-	if !s.opts.NoSync {
+	if seg != nil && !s.opts.NoSync {
 		if err := seg.f.Sync(); err != nil {
 			return fail(fmt.Errorf("store: compact sync: %w", err))
 		}
+	}
+
+	// Seal every rewritten segment, carrying the chain across the
+	// compaction: entries for the old segments are dropped (their
+	// files are about to vanish) but the first new entry's PrevChain
+	// is the pre-compaction chain tail, so the chain — and a head
+	// value pinned out of band — stays continuous end to end. Roots
+	// are deterministic: survivors are written oldest-first with their
+	// original leaves, so compacting the same live set always produces
+	// the same roots.
+	chainTail, chainLen := s.chainTail, s.chainLen
+	var entries []provenance.SealedRoot
+	for _, id := range newIDs {
+		sp := newProv[id]
+		if len(sp.leaves) == 0 {
+			continue
+		}
+		root := provenance.RootOf(sp.leaves)
+		entry := provenance.SealedRoot{
+			ChainPos:  chainLen,
+			Segment:   id,
+			Leaves:    len(sp.leaves),
+			Root:      provenance.EncodeHash(root),
+			PrevChain: provenance.EncodeHash(chainTail),
+			Chain:     provenance.EncodeHash(provenance.ChainHash(chainTail, root)),
+			Version:   s.opts.Version,
+		}
+		sc := provenance.Sidecar{Segment: id, Root: entry.Root}
+		for _, l := range sp.leaves {
+			sc.Leaves = append(sc.Leaves, provenance.WireLeaf(l))
+		}
+		if err := provenance.WriteSidecar(s.dir, sc, !s.opts.NoSync); err != nil {
+			return fail(err)
+		}
+		sp.sealed, sp.root, sp.entry = true, root, entry
+		entries = append(entries, entry)
+		chainTail = provenance.ChainHash(chainTail, root)
+		chainLen = entry.ChainPos + 1
+	}
+	// Fresh empty active segment: every rewritten segment is sealed,
+	// new appends land under the next root.
+	if _, err := openNew(); err != nil {
+		return fail(err)
+	}
+	if err := provenance.WriteManifest(provenance.ManifestPath(s.dir), entries, !s.opts.NoSync); err != nil {
+		return fail(err)
 	}
 
 	// Swap the new layout in and drop the old files. From here the
@@ -573,12 +790,17 @@ func (s *Store) compactLocked() error {
 	oldIDs, oldSegs := s.segIDs, s.segs
 	s.segs, s.segIDs = newSegs, newIDs
 	s.index = newIndex
+	s.prov = newProv
+	s.manifest = entries
+	s.chainTail, s.chainLen = chainTail, chainLen
 	s.total, s.live = newTotal, newTotal
 	s.stats.Compactions++
 	s.stats.Evicted += evicted
+	s.stats.Seals += uint64(len(entries))
 	var removeErr error
 	for _, id := range oldIDs {
 		oldSegs[id].f.Close()
+		os.Remove(provenance.SidecarPath(s.dir, id)) // derived data; orphans are ignored anyway
 		if removeErr != nil {
 			continue
 		}
@@ -621,6 +843,22 @@ func (s *Store) Stats() Stats {
 	st.Records = len(s.index)
 	st.Bytes = s.total
 	st.LiveBytes = s.live
+	for _, id := range s.segIDs {
+		sp := s.prov[id]
+		if sp.sealed {
+			st.SealedSegments++
+			st.SealedRecords += len(sp.leaves)
+		} else {
+			st.UnsealedRecords += len(sp.leaves)
+		}
+		if sp.tainted != "" {
+			st.TaintedSegments++
+		}
+	}
+	st.ChainLen = s.chainLen
+	if s.chainLen > 0 {
+		st.ChainHead = provenance.EncodeHash(s.chainTail)
+	}
 	return st
 }
 

@@ -10,7 +10,24 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
+
+// Process-wide drop totals across every recorder, alive or discarded.
+// Recorders are per-engine and usually short-lived, so their own
+// Dropped counters vanish with them; these survive for /metrics.
+var (
+	totalDroppedSamples atomic.Int64
+	totalDroppedEvents  atomic.Int64
+)
+
+// TotalDroppedSamples returns the process-wide count of samples
+// discarded at recorder caps.
+func TotalDroppedSamples() int64 { return totalDroppedSamples.Load() }
+
+// TotalDroppedEvents returns the process-wide count of events
+// discarded at recorder caps.
+func TotalDroppedEvents() int64 { return totalDroppedEvents.Load() }
 
 // Sample is one row of the periodic timeline.
 type Sample struct {
@@ -74,6 +91,7 @@ func (r *Recorder) SetMaxEvents(max int) {
 func (r *Recorder) AddSample(s Sample) {
 	if len(r.samples) >= r.maxSamples {
 		r.dropped++
+		totalDroppedSamples.Add(1)
 		return
 	}
 	cp := Sample{Time: s.Time}
@@ -90,6 +108,7 @@ func (r *Recorder) AddSample(s Sample) {
 func (r *Recorder) AddEvent(t float64, kind, format string, args ...any) {
 	if len(r.events) >= r.maxEvents {
 		r.droppedEvents++
+		totalDroppedEvents.Add(1)
 		return
 	}
 	r.events = append(r.events, Event{Time: t, Kind: kind, Text: fmt.Sprintf(format, args...)})

@@ -259,9 +259,15 @@ type Store struct {
 
 // OpenStore opens (or creates) a result store rooted at dir,
 // recovering cleanly from a previous process kill (a partial final
-// record is truncated away; intact records all survive).
+// record is truncated away; intact records all survive). Records are
+// stamped with the engine version and sealed under Merkle roots as
+// segments rotate, so results written here are verifiable offline
+// with cmd/thermproof.
 func OpenStore(dir string) (*Store, error) {
-	st, err := store.Open(dir, store.Options{Pinned: service.JournalPinned})
+	st, err := store.Open(dir, store.Options{
+		Pinned:  service.JournalPinned,
+		Version: experiment.EngineVersion,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -277,12 +283,36 @@ type StoreStats struct {
 	Segments int
 	Records  int
 	Bytes    int64
+	// SealedSegments counts segments sealed under a Merkle root;
+	// ChainLen and ChainHead describe the hash chain those roots form
+	// (pin ChainHead out-of-band to make truncation detectable).
+	SealedSegments int
+	ChainLen       int
+	ChainHead      string
 }
 
 // Stats snapshots the store.
 func (s *Store) Stats() StoreStats {
 	st := s.st.Stats()
-	return StoreStats{Segments: st.Segments, Records: st.Records, Bytes: st.Bytes}
+	return StoreStats{
+		Segments: st.Segments, Records: st.Records, Bytes: st.Bytes,
+		SealedSegments: st.SealedSegments, ChainLen: st.ChainLen, ChainHead: st.ChainHead,
+	}
+}
+
+// Seal rotates the active segment, sealing everything written so far
+// under a Merkle root in the provenance chain. Results are provable
+// (and offline-verifiable) only once sealed; the store also seals
+// automatically whenever a segment fills.
+func (s *Store) Seal() error { return s.st.Seal() }
+
+// Verify rescans every record on disk against the sealed Merkle roots
+// and the root hash chain, returning nil when everything checks out
+// and an error naming the first divergent record otherwise. Purely
+// read-only; see cmd/thermproof for the out-of-process form.
+func (s *Store) Verify() error {
+	_, err := s.st.Verify()
+	return err
 }
 
 // request maps a facade Config onto the service's wire request, whose
