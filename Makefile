@@ -6,9 +6,9 @@ GO ?= go
 BENCH_DATE := $(shell date -u +%F)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: check build vet fmt-check lint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve smoke-proof bench bench-smoke bench-thermal bench-json bench-diff smoke-expm smoke-spec fuzz-smoke clean
+.PHONY: check build vet fmt-check lint doclint print-staticcheck-version vulncheck print-govulncheck-version test race cover cover-check serve smoke-serve smoke-proof smoke-load bench bench-smoke bench-thermal bench-json bench-diff load-json load-diff smoke-expm smoke-spec fuzz-smoke clean
 
-check: fmt-check vet lint build race bench-smoke smoke-expm smoke-spec smoke-serve smoke-proof fuzz-smoke
+check: fmt-check vet lint doclint build race bench-smoke smoke-expm smoke-spec smoke-serve smoke-proof smoke-load fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,12 @@ vulncheck:
 	else \
 		echo "vulncheck: govulncheck not found; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# Documentation gate: the thermbal facade must document every exported
+# symbol; every internal and cmd package must carry a package doc
+# comment (commands render it as their usage block).
+doclint:
+	$(GO) run ./cmd/godoclint -exported . -pkgdoc ./internal/... -pkgdoc ./cmd/...
 
 # Fails when any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -122,6 +128,42 @@ smoke-proof:
 		{ echo "smoke-proof: thermproof did not localize the tampered key:"; cat $(SMOKE_PROOF_DIR)/tamper.log; exit 1; }
 	@echo "smoke-proof: tamper rejected and localized: $$(head -1 $(SMOKE_PROOF_DIR)/tamper.log)"
 	@rm -rf $(SMOKE_PROOF_DIR)
+
+# Load-harness self-check: thermload starts an in-process server on an
+# ephemeral port, runs a short fixed-RPS open-loop load against it, and
+# fails unless the JSON report parses under its schema gate, the
+# latency quantiles are nonzero, the Zipf skew produced cache hits, and
+# no request errored or was refused.
+smoke-load:
+	$(GO) run ./cmd/thermload -self
+
+# Full load-trajectory point: a dated LOAD_<date>.json next to the
+# BENCH_<date>.json series. Refuses to overwrite a committed point, so
+# a same-day rerun needs an explicit LOAD_OUT.
+LOAD_OUT ?= LOAD_$(BENCH_DATE).json
+
+load-json:
+	@if git ls-files --error-unmatch $(LOAD_OUT) >/dev/null 2>&1; then \
+		echo "load-json: $(LOAD_OUT) is already a committed trajectory point;"; \
+		echo "           pass LOAD_OUT=LOAD_$(BENCH_DATE)_2.json (or similar) to add a new one"; \
+		exit 1; \
+	fi
+	$(GO) run ./cmd/thermload -self -out $(LOAD_OUT)
+	@echo "wrote $(LOAD_OUT)"
+
+# Compare a fresh load run against the newest committed LOAD_*.json
+# (picked by the JSON `date` field, like bench-diff). Set LOAD_NEW to
+# an existing report to skip the fresh run.
+LOAD_BASE = $$(git ls-files 'LOAD_*.json' | paste -sd, -)
+
+load-diff:
+ifdef LOAD_NEW
+	$(GO) run ./cmd/loaddiff -base "$(LOAD_BASE)" -new $(LOAD_NEW)
+else
+	$(GO) run ./cmd/thermload -self -out .load-new.json
+	$(GO) run ./cmd/loaddiff -base "$(LOAD_BASE)" -new .load-new.json
+	@rm -f .load-new.json
+endif
 
 # Wall-clock comparison of the serial vs parallel experiment runner.
 bench:
@@ -205,7 +247,7 @@ endif
 # bench/coverage outputs, and stray compiled test binaries
 # (`go test -c` artifacts like thermbal.test).
 clean:
-	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out .spec.tmp.json .spec-run-a.json .spec-run-b.json
+	@rm -f .bench.tmp .bench-new.json bench-ci.json coverage*.out .spec.tmp.json .spec-run-a.json .spec-run-b.json .load-new.json load-ci.json
 	@rm -rf .smoke-proof.tmp
 	@find . -name '*.test' -type f -delete
 	$(GO) clean ./...

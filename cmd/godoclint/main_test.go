@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckDirExported(t *testing.T) {
+	// Five violations: no package doc, undocumented exported type,
+	// function, const, and method on an exported receiver. The
+	// unexported symbols and the documented block are clean.
+	dir := writePkg(t, `package p
+
+type Exported struct{}
+
+func (Exported) Method() {}
+
+func (hidden) Visible() {} // method on unexported receiver: not public surface
+
+type hidden struct{}
+
+func Func() {}
+
+const Answer = 42
+
+// Documented group covers its members.
+const (
+	A = 1
+	B = 2
+)
+
+func private() {}
+`)
+	if got := checkDir(dir, true); got != 5 {
+		t.Errorf("checkDir(exported) = %d violations, want 5", got)
+	}
+}
+
+func TestCheckDirPkgDocOnly(t *testing.T) {
+	bad := writePkg(t, `package p
+
+func Undocumented() {}
+`)
+	// Without -exported the only requirement is the package comment.
+	if got := checkDir(bad, false); got != 1 {
+		t.Errorf("checkDir(pkgdoc, missing) = %d, want 1", got)
+	}
+	good := writePkg(t, `// Package p does something.
+package p
+
+func Undocumented() {}
+`)
+	if got := checkDir(good, false); got != 0 {
+		t.Errorf("checkDir(pkgdoc, present) = %d, want 0", got)
+	}
+}
+
+func TestExpandRecursive(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "x.go"), []byte("package b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// root has no .go files, so only the leaf is returned.
+	dirs := expand([]string{root + "/..."})
+	if len(dirs) != 1 || dirs[0] != sub {
+		t.Errorf("expand = %v, want [%s]", dirs, sub)
+	}
+}

@@ -1,0 +1,182 @@
+// Command loaddiff compares two LOAD_<date>.json documents produced by
+// cmd/thermload and fails when the fresh run's latency or refusal
+// rates regressed beyond a threshold — the load-trajectory analogue of
+// cmd/benchdiff gating BENCH_<date>.json.
+//
+// Usage:
+//
+//	loaddiff -base LOAD_2026-08-08.json -new fresh.json
+//	loaddiff -base "$(git ls-files 'LOAD_*.json' | paste -sd, -)" \
+//	         -new fresh.json -max-regress 0.5
+//
+// -base accepts one document or a comma/whitespace-separated candidate
+// list; the baseline is the candidate with the newest `date` field, so
+// the committed trajectory can simply be globbed.
+//
+// Gates, per endpoint present in both documents:
+//
+//   - p95 and p99 may grow by at most -max-regress as a fraction of
+//     the baseline (with -min-ms noise floor: quantiles below it are
+//     never compared — sub-millisecond jitter is not a regression).
+//   - the error count must be zero if the baseline's was zero.
+//
+// Shed/quota counts are reported but never gated: they are policy
+// outcomes of the configured quotas and budget, not regressions.
+// Exit status 1 means at least one gate failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"thermbal/internal/loadgen"
+)
+
+func load(path string) (*loadgen.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := loadgen.DecodeReport(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// docDate parses a report's date ("2006-01-02"); unparseable dates
+// sort oldest so they never shadow a stamped document.
+func docDate(r *loadgen.Report) time.Time {
+	t, err := time.Parse("2006-01-02", r.Date)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// pickBaseline returns the loadable candidate with the newest date
+// (ties keep the later-listed candidate). Unloadable candidates are
+// warned about and skipped so one malformed committed point cannot
+// break the gate.
+func pickBaseline(paths []string) (*loadgen.Report, string, error) {
+	var (
+		best     *loadgen.Report
+		bestPath string
+		bestTime time.Time
+	)
+	for _, path := range paths {
+		rep, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loaddiff: skipping baseline candidate: %v\n", err)
+			continue
+		}
+		when := docDate(rep)
+		if best == nil || !when.Before(bestTime) {
+			best, bestPath, bestTime = rep, path, when
+		}
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("no loadable baseline candidate")
+	}
+	return best, bestPath, nil
+}
+
+func splitBases(spec string) []string {
+	return strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	})
+}
+
+// gateQuantile compares one quantile pair under the fractional budget
+// and the noise floor.
+func gateQuantile(name, which string, base, fresh, maxRegress, minMs float64) (string, bool) {
+	if base < minMs && fresh < minMs {
+		return fmt.Sprintf("  %-10s %-4s %8.2f -> %8.2f ms  (below %.1f ms noise floor)", name, which, base, fresh, minMs), false
+	}
+	delta := 0.0
+	if base > 0 {
+		delta = (fresh - base) / base
+	} else if fresh >= minMs {
+		delta = maxRegress + 1 // zero baseline, material fresh latency
+	}
+	verdict := "ok"
+	bad := delta > maxRegress
+	if bad {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("  %-10s %-4s %8.2f -> %8.2f ms  %+6.1f%%  %s", name, which, base, fresh, 100*delta, verdict), bad
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loaddiff: ")
+	var (
+		baseSpec   = flag.String("base", "", "baseline LOAD json document, or a comma/whitespace-separated candidate list (newest `date` wins)")
+		newPath    = flag.String("new", "", "fresh LOAD json document")
+		maxRegress = flag.Float64("max-regress", 0.5, "maximum allowed p95/p99 increase as a fraction of the baseline")
+		minMs      = flag.Float64("min-ms", 2, "noise floor in ms: quantile pairs both below it are never gated")
+	)
+	flag.Parse()
+	basePaths := splitBases(*baseSpec)
+	if len(basePaths) == 0 || *newPath == "" {
+		log.Fatal("both -base and -new are required")
+	}
+	base, basePath, err := pickBaseline(basePaths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(basePaths) > 1 {
+		fmt.Printf("baseline %s (%s), newest of %d candidates\n", basePath, base.Date, len(basePaths))
+	} else {
+		fmt.Printf("baseline %s (%s)\n", basePath, base.Date)
+	}
+	if base.TargetRPS != fresh.TargetRPS {
+		fmt.Printf("note: target rps differs (%g baseline vs %g fresh) — quantiles compared anyway\n",
+			base.TargetRPS, fresh.TargetRPS)
+	}
+
+	regressed, compared := 0, 0
+	for name, freshEp := range fresh.Endpoints {
+		baseEp, ok := base.Endpoints[name]
+		if !ok {
+			fmt.Printf("  %-10s (new endpoint, no baseline)\n", name)
+			continue
+		}
+		compared++
+		for _, q := range []struct {
+			which       string
+			base, fresh float64
+		}{
+			{"p95", baseEp.Latency.P95Ms, freshEp.Latency.P95Ms},
+			{"p99", baseEp.Latency.P99Ms, freshEp.Latency.P99Ms},
+		} {
+			line, bad := gateQuantile(name, q.which, q.base, q.fresh, *maxRegress, *minMs)
+			fmt.Println(line)
+			if bad {
+				regressed++
+			}
+		}
+		if baseEp.Errors == 0 && freshEp.Errors > 0 {
+			fmt.Printf("  %-10s errors  %d -> %d  REGRESSED (baseline was clean)\n", name, baseEp.Errors, freshEp.Errors)
+			regressed++
+		}
+		if freshEp.Shed+freshEp.Quota > 0 {
+			fmt.Printf("  %-10s refusals: %d shed, %d quota (policy outcome, not gated)\n", name, freshEp.Shed, freshEp.Quota)
+		}
+	}
+	if compared == 0 {
+		log.Fatal("no endpoint present in both documents")
+	}
+	if regressed > 0 {
+		log.Fatalf("%d gate failures across %d endpoints (budget %.0f%%, floor %.1f ms)", regressed, compared, 100**maxRegress, *minMs)
+	}
+	fmt.Printf("%d endpoints within the %.0f%% budget\n", compared, 100**maxRegress)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLoad(t *testing.T, dir, name, date string, p95, p99 float64, errors int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	body := fmt.Sprintf(`{
+  "load_schema_version": 1,
+  "date": %q,
+  "target_rps": 50,
+  "endpoints": {
+    "run": {"count": 100, "errors": %d, "latency": {"count": 100, "p50_ms": 1, "p95_ms": %g, "p99_ms": %g}}
+  }
+}`, date, errors, p95, p99)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPickBaselineNewestByDate mirrors benchdiff's same-day rule: the
+// candidate with the newest recorded date wins regardless of listing
+// order.
+func TestPickBaselineNewestByDate(t *testing.T) {
+	dir := t.TempDir()
+	older := writeLoad(t, dir, "LOAD_2026-08-01.json", "2026-08-01", 10, 20, 0)
+	newer := writeLoad(t, dir, "LOAD_2026-08-08.json", "2026-08-08", 10, 20, 0)
+	for _, paths := range [][]string{{older, newer}, {newer, older}} {
+		_, got, err := pickBaseline(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != newer {
+			t.Errorf("pickBaseline(%v) chose %s, want %s", paths, got, newer)
+		}
+	}
+}
+
+func TestPickBaselineSkipsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeLoad(t, dir, "good.json", "2026-08-08", 10, 20, 0)
+	_, got, err := pickBaseline([]string{bad, good})
+	if err != nil || got != good {
+		t.Errorf("pickBaseline = %s, %v; want the loadable candidate", got, err)
+	}
+	if _, _, err := pickBaseline([]string{bad}); err == nil {
+		t.Error("all-malformed candidate set accepted")
+	}
+}
+
+func TestGateQuantile(t *testing.T) {
+	// Within budget.
+	line, bad := gateQuantile("run", "p95", 10, 12, 0.5, 2)
+	if bad {
+		t.Errorf("20%% growth under a 50%% budget flagged: %s", line)
+	}
+	// Beyond budget.
+	line, bad = gateQuantile("run", "p95", 10, 16, 0.5, 2)
+	if !bad || !strings.Contains(line, "REGRESSED") {
+		t.Errorf("60%% growth under a 50%% budget passed: %s", line)
+	}
+	// Both under the noise floor: never gated, whatever the ratio.
+	_, bad = gateQuantile("run", "p99", 0.1, 1.9, 0.5, 2)
+	if bad {
+		t.Error("sub-floor jitter gated")
+	}
+	// Zero baseline with material fresh latency is a regression.
+	_, bad = gateQuantile("run", "p99", 0, 50, 0.5, 2)
+	if !bad {
+		t.Error("zero-baseline jump to 50ms passed")
+	}
+}

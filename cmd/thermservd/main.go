@@ -78,6 +78,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "experiment worker pool for /matrix sweeps (default GOMAXPROCS)")
 		maxSims    = flag.Int("max-sims", 0, "concurrent simulation executions across all endpoints (default 2xGOMAXPROCS)")
 		maxSync    = flag.Float64("max-sync", 0, "max simulated seconds a synchronous /run accepts (default 600)")
+		maxPending = flag.Float64("max-pending-sim-s", 0, "pending simulated-seconds budget before load shedding with 503 + Retry-After (default 20x max-sync; negative: unbounded)")
+		quotaRPS   = flag.Float64("quota-rps", 0, "per-tenant request quota in requests/second on /run, /matrix and POST /jobs; 0 disables quotas")
+		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant burst allowance in requests (default 2x quota-rps, min 1)")
+		tenantHdr  = flag.String("tenant-header", "", "header naming the tenant for quota accounting (default X-Tenant; absent header falls back to the remote IP)")
 		dataDir    = flag.String("data-dir", "", "durable result-store directory (empty: memory-only; results and job resumability are lost on restart)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "on-disk store size budget in bytes; exceeding it compacts the log and evicts the oldest results (default 256 MiB)")
 		storeSeg   = flag.Int64("store-segment-bytes", 0, "segment rotation threshold in bytes; each rotation seals the filled segment under a Merkle root (default 8 MiB)")
@@ -88,12 +92,16 @@ func main() {
 	flag.Parse()
 
 	cfg := service.Config{
-		CacheEntries: *cacheSize,
-		JobWorkers:   *jobWorkers,
-		QueueDepth:   *queueDepth,
-		JobRetention: *jobRetain,
-		MaxSims:      *maxSims,
-		MaxSyncSimS:  *maxSync,
+		CacheEntries:   *cacheSize,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		JobRetention:   *jobRetain,
+		MaxSims:        *maxSims,
+		MaxSyncSimS:    *maxSync,
+		MaxPendingSimS: *maxPending,
+		QuotaRPS:       *quotaRPS,
+		QuotaBurst:     *quotaBurst,
+		TenantHeader:   *tenantHdr,
 	}
 	cfg.Runner.Workers = *workers
 

@@ -191,9 +191,25 @@ func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// writeOverloadError maps an execute-ladder failure: a shed decision
+// becomes 503 + Retry-After (the shed counter was incremented at the
+// shed site), anything else 500.
+func writeOverloadError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		setRetryAfter(w, shed.retryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	rec := obs.TimingRecord{Start: time.Now(), Endpoint: "run", Outcome: "error"}
 	defer s.finishRequest(epRun, &rec)
+	if !s.checkQuota(w, r) {
+		return
+	}
 	var req Request
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeRequestError(w, err)
@@ -217,12 +233,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// The request context cancels on client disconnect: this waiter
 	// aborts, while the execution itself is detached so coalesced
 	// requests and the cache still get the result.
-	body, cacheState, err := s.executeRun(r.Context(), key, canon, rc, &rec)
+	cls := execClass{prio: prioInteractive, cost: canon.WarmupS + canon.MeasureS}
+	body, cacheState, err := s.executeRun(r.Context(), key, cls, canon, rc, &rec)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nobody to answer
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeOverloadError(w, err)
 		return
 	}
 	writeTimedBody(w, body, cacheState, &rec)
@@ -231,6 +248,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	rec := obs.TimingRecord{Start: time.Now(), Endpoint: "matrix", Outcome: "error"}
 	defer s.finishRequest(epMatrix, &rec)
+	if !s.checkQuota(w, r) {
+		return
+	}
 	var req MatrixRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeRequestError(w, err)
@@ -258,7 +278,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeOverloadError(w, err)
 		return
 	}
 	writeTimedBody(w, body, cacheState, &rec)
@@ -341,6 +361,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.checkQuota(w, r) {
+		return
+	}
 	var jr JobRequest
 	if err := decodeJSON(w, r, &jr); err != nil {
 		writeRequestError(w, err)
@@ -348,11 +371,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.jobs.submit(jr, false)
 	if err != nil {
-		if errors.Is(err, errQueueFull) {
+		var shed *shedError
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.shed[shedQueueFull].Add(1)
+			setRetryAfter(w, shedRetryAfter(s.budget.pendingSimS(), s.cfg.MaxSims))
 			writeError(w, http.StatusServiceUnavailable, err)
-			return
+		case errors.As(err, &shed):
+			setRetryAfter(w, shed.retryAfter)
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
 		}
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+j.id)

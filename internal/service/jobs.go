@@ -110,6 +110,10 @@ type job struct {
 	kind      string
 	key       string
 	recovered bool
+	// cost is the job's estimated simulated seconds (warmup + measure,
+	// summed over a sweep's cells), reserved against the server's
+	// pending budget from acceptance until any final state.
+	cost float64
 
 	run    *Request
 	matrix *MatrixRequest
@@ -150,6 +154,17 @@ type jobManager struct {
 	// would let an accepted job miss the journal across a crash.
 	journalPut   func(j *job)
 	journalClear func(j *job)
+
+	// reserveCost / releaseCost hook the server's pending
+	// simulated-seconds budget (nil in manager-only tests). reserveCost
+	// runs at submit, before the job is registered: a refusal sheds the
+	// submission with 503 + Retry-After. force bypasses the shed
+	// decision for journal-recovered jobs — they were admitted by a
+	// previous process, and recovery must not strand them — while still
+	// reserving their cost so the budget stays truthful. releaseCost
+	// runs when the job reaches any final state.
+	reserveCost func(j *job, force bool) error
+	releaseCost func(j *job)
 }
 
 func (m *jobManager) init(queueDepth, retain int) {
@@ -232,6 +247,7 @@ func (m *jobManager) submit(jr JobRequest, recovered bool) (*job, error) {
 			return nil, err
 		}
 		j.run, j.rc, j.key = &canon, rc, canon.Key()
+		j.cost = canon.WarmupS + canon.MeasureS
 	case "matrix":
 		var req MatrixRequest
 		if jr.Matrix != nil {
@@ -247,8 +263,19 @@ func (m *jobManager) submit(jr JobRequest, recovered bool) (*job, error) {
 		}
 		j.matrix, j.cells, j.key = &canon, cells, canon.Key()
 		j.progress = JobProgress{TotalCells: len(cells)}
+		j.cost = canon.simSeconds()
 	default:
 		return nil, fmt.Errorf("unknown job kind %q (run | matrix)", kind)
+	}
+	// The whole job's cost is reserved before it can enter the queue:
+	// a backlog already at its simulated-seconds budget sheds new jobs
+	// here instead of letting the pending queue grow unboundedly in
+	// work (the flat queue depth below remains as a structural
+	// backstop).
+	if m.reserveCost != nil {
+		if err := m.reserveCost(j, recovered); err != nil {
+			return nil, err
+		}
 	}
 	m.mu.Lock()
 	m.seq++
@@ -257,6 +284,9 @@ func (m *jobManager) submit(jr JobRequest, recovered bool) (*job, error) {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
+		if m.releaseCost != nil {
+			m.releaseCost(j)
+		}
 		return nil, errQueueFull
 	}
 	if recovered {
@@ -318,6 +348,9 @@ func (m *jobManager) finish(j *job, body []byte, err error) {
 		j.body = body
 	}
 	close(j.done)
+	if m.releaseCost != nil {
+		m.releaseCost(j)
+	}
 	m.maybeClearJournalLocked(j)
 	m.pruneLocked()
 }
@@ -340,6 +373,9 @@ func (m *jobManager) cancel(id string) (*job, bool, bool) {
 	j.errText = "cancelled before start"
 	j.finished = time.Now()
 	close(j.done)
+	if m.releaseCost != nil {
+		m.releaseCost(j)
+	}
 	m.maybeClearJournalLocked(j)
 	m.pruneLocked()
 	return j, true, true
@@ -459,7 +495,10 @@ func (s *Server) jobWorker() {
 				body, err = s.executeMatrixJob(j)
 			default:
 				var rec obs.TimingRecord
-				body, _, err = s.executeRun(s.base, j.key, *j.run, j.rc, &rec)
+				// Bulk class, cost 0: the job reserved its cost at
+				// submit, and async work never overtakes interactive
+				// requests in the slot queue.
+				body, _, err = s.executeRun(s.base, j.key, execClass{prio: prioBulk}, *j.run, j.rc, &rec)
 			}
 			if err != nil && s.base.Err() != nil {
 				// The server is shutting down mid-job, not the job
@@ -541,7 +580,10 @@ func (s *Server) executeMatrixCells(j *job) ([]byte, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			var cellRec obs.TimingRecord
-			body, state, err := s.executeRun(ctx, cell.req.Key(), cell.req, cell.rc, &cellRec)
+			// Cells ride the job's submit-time cost reservation (cost
+			// 0) and queue at bulk priority, behind any interactive
+			// /run waiting for a slot.
+			body, state, err := s.executeRun(ctx, cell.req.Key(), execClass{prio: prioBulk}, cell.req, cell.rc, &cellRec)
 			if err != nil {
 				errOnce.Do(func() {
 					jobErr = fmt.Errorf("cell %s/%s: %w", cell.req.Scenario, cell.req.Policy, err)

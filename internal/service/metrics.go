@@ -196,6 +196,36 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.jobs.countState(state)) },
 			obs.L("state", string(state)))
 	}
+	// Admission-control families: scrape-time mirrors of the /stats
+	// admission block, so shed counts reconcile exactly between the two.
+	for reason := 0; reason < numShedReasons; reason++ {
+		reason := reason
+		r.NewCounterFunc("thermbal_shed_total",
+			"Requests refused with 503 + Retry-After, by shed reason.",
+			func() float64 { return float64(s.shed[reason].Load()) },
+			obs.L("reason", shedReasonNames[reason]))
+	}
+	r.NewGaugeFunc("thermbal_pending_sim_seconds",
+		"Estimated simulated seconds admitted but not yet finished.",
+		func() float64 { return s.budget.pendingSimS() })
+	for prio := 0; prio < numPriorities; prio++ {
+		prio := prio
+		r.NewGaugeFunc("thermbal_exec_queue_depth",
+			"Goroutines waiting for an execution slot, by priority class.",
+			func() float64 { w, _ := s.slots.depths(); return float64(w[prio]) },
+			obs.L("priority", prioNames[prio]))
+	}
+	r.NewGaugeFunc("thermbal_exec_slots_free",
+		"Execution slots currently free (of -max-sims).",
+		func() float64 { _, free := s.slots.depths(); return float64(free) })
+	if s.quota != nil {
+		r.NewCounterFunc("thermbal_quota_denied_total",
+			"Requests refused with 429 + Retry-After by per-tenant quotas.",
+			func() float64 { _, denied := s.quota.stats(); return float64(denied) })
+		r.NewGaugeFunc("thermbal_quota_tenants",
+			"Tenants with a live token bucket (idle tenants are pruned).",
+			func() float64 { tenants, _ := s.quota.stats(); return float64(tenants) })
+	}
 	return m
 }
 

@@ -71,6 +71,26 @@ type Config struct {
 	// synchronous /run accepts; longer runs must go through the async
 	// /jobs queue (default 600).
 	MaxSyncSimS float64
+	// MaxPendingSimS bounds the total estimated simulated seconds of
+	// admitted-but-unfinished work — executing sync requests plus the
+	// whole remaining cost of accepted jobs. Work that would push the
+	// backlog past the bound is shed with 503 + Retry-After instead of
+	// queueing unboundedly; cache and store hits are never shed. The
+	// default is 20×MaxSyncSimS; negative disables the bound.
+	MaxPendingSimS float64
+	// QuotaRPS enables per-tenant token-bucket quotas: each tenant
+	// (TenantHeader value, else remote IP) may sustain QuotaRPS
+	// requests per second on the costed endpoints (/run, /matrix,
+	// POST /jobs) with bursts up to QuotaBurst; beyond that the
+	// request is refused with 429 + Retry-After. 0 disables quotas.
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket depth (default ceil(2×QuotaRPS),
+	// minimum 1).
+	QuotaBurst float64
+	// TenantHeader names the request header that identifies the
+	// tenant for quota accounting (default "X-Tenant"); requests
+	// without it fall back to the remote IP.
+	TenantHeader string
 	// TimingLog, when non-nil, receives one CSV record per /run and
 	// /matrix request (cmd/thermservd's -timing-log flag). Logging is
 	// off the measured path: the record is appended after the response
@@ -114,6 +134,15 @@ func (c Config) fill() Config {
 	if c.MaxSyncSimS <= 0 {
 		c.MaxSyncSimS = 600
 	}
+	if c.MaxPendingSimS == 0 {
+		c.MaxPendingSimS = 20 * c.MaxSyncSimS
+	}
+	if c.MaxPendingSimS < 0 {
+		c.MaxPendingSimS = 0 // explicit "unbounded"
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Tenant"
+	}
 	return c
 }
 
@@ -126,12 +155,18 @@ type Server struct {
 	cache     *lruCache
 	flight    flightGroup
 	jobs      jobManager
-	slots     chan struct{} // single-run execution slots, cap MaxSims
+	slots     *prioSlots    // single-run execution slots (MaxSims), priority-classed
 	sweepSlot chan struct{} // matrix executions, serialized (cap 1)
+	budget    costBudget    // admitted-but-unfinished simulated seconds
+	quota     *tenantQuotas // per-tenant token buckets; nil when disabled
 	base      context.Context
 	stop      context.CancelFunc
 	start     time.Time
 	metrics   *serverMetrics
+
+	// shed counts overload refusals by reason (see shedReasonNames);
+	// every one of them was answered with 503 + Retry-After.
+	shed [numShedReasons]atomic.Int64
 
 	// executions counts actual engine runs (one per coalesced group;
 	// cache and store hits execute nothing).
@@ -161,11 +196,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		cache:     newLRUCache(cfg.CacheEntries),
-		slots:     make(chan struct{}, cfg.MaxSims),
+		slots:     newPrioSlots(cfg.MaxSims),
 		sweepSlot: make(chan struct{}, 1),
 		start:     time.Now(),
 		runSim:    cfg.runSim,
 		runMatrix: cfg.runMatrix,
+	}
+	s.budget.max = cfg.MaxPendingSimS
+	if cfg.QuotaRPS > 0 {
+		s.quota = newTenantQuotas(cfg.QuotaRPS, cfg.QuotaBurst)
 	}
 	if s.runSim == nil {
 		s.runSim = func(rc experiment.RunConfig) (sim.Result, error) {
@@ -181,6 +220,22 @@ func New(cfg Config) *Server {
 	s.base, s.stop = context.WithCancel(context.Background())
 	s.metrics = newServerMetrics(s)
 	s.jobs.init(cfg.QueueDepth, cfg.JobRetention)
+	// The job manager reserves a job's whole estimated cost against
+	// the pending budget at submit and releases it at any final state;
+	// journal-recovered jobs reserve unconditionally (force) — they
+	// were admitted by a previous process and must not be stranded.
+	s.jobs.reserveCost = func(j *job, force bool) error {
+		if force {
+			s.budget.forceReserve(j.cost)
+			return nil
+		}
+		if !s.budget.admit(j.cost) {
+			s.shed[shedCost].Add(1)
+			return &shedError{retryAfter: shedRetryAfter(s.budget.pendingSimS(), s.cfg.MaxSims)}
+		}
+		return nil
+	}
+	s.jobs.releaseCost = func(j *job) { s.budget.release(j.cost) }
 	s.initJournal()
 	// Journaled jobs from a previous process are re-enqueued before the
 	// workers start; their completed cells are already in the store, so
@@ -200,17 +255,23 @@ func (s *Server) Close() { s.stop() }
 // execute serves one canonical request's encoded body: in-memory
 // cache first, then the durable store, then the coalescing layer,
 // then build — an actual engine execution plus encoding — whose
-// result is cached under key and appended to the store. slot is the
-// admission-control semaphore the execution must hold: only cap(slot)
-// executions of its class run at once; the rest hold their (cheap,
-// detached) goroutine until a slot frees. Distinct keys only —
-// identical requests are coalesced and never queue twice. The
-// returned cache state is "hit" (memory), "store" (durable store,
-// after a restart), "miss" (this caller executed) or "coalesced"
-// (another caller's execution was shared). ctx bounds only this
-// caller's wait: the execution itself is detached, so one
-// disconnecting client neither starves the coalesced others nor
-// wastes the result — it still lands in the cache and the store.
+// result is cached under key and appended to the store. cls carries
+// the execution's admission parameters: its cost in estimated
+// simulated seconds (reserved against the pending budget before the
+// engine is touched; a reservation the budget refuses sheds the
+// request with 503 instead of queueing it) and its slot priority —
+// sweeps hold the dedicated serialized sweep slot, everything else
+// queues for a MaxSims slot at its class, interactive ahead of bulk.
+// Only work that would actually execute pays any of this: cache hits,
+// store hits and coalesced waiters reserve nothing and are never
+// shed. Distinct keys only — identical requests are coalesced and
+// never queue twice. The returned cache state is "hit" (memory),
+// "store" (durable store, after a restart), "miss" (this caller
+// executed) or "coalesced" (another caller's execution was shared).
+// ctx bounds only this caller's wait: the execution itself is
+// detached, so one disconnecting client neither starves the coalesced
+// others nor wastes the result — it still lands in the cache and the
+// store.
 //
 // rec is the caller's timing record. The execution stamps its own
 // stage boundaries (queue wait, execute, encode, store append) into a
@@ -219,7 +280,7 @@ func (s *Server) Close() { s.stop() }
 // histograms itself; the caller's rec inherits the stamps only when it
 // was the leader that saw the execution through (flight.Do copies
 // them). A coalesced waiter's rec instead carries its coalesce wait.
-func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, rec *obs.TimingRecord, build func(er *obs.TimingRecord) ([]byte, error)) ([]byte, string, error) {
+func (s *Server) execute(ctx context.Context, key string, cls execClass, rec *obs.TimingRecord, build func(er *obs.TimingRecord) ([]byte, error)) ([]byte, string, error) {
 	if body, state, ok := s.lookup(key, false); ok {
 		return body, state, nil
 	}
@@ -238,10 +299,27 @@ func (s *Server) execute(ctx context.Context, key string, slot chan struct{}, re
 			leaderState = state
 			return body, nil
 		}
+		// Cost admission precedes the slot queue: a backlogged server
+		// refuses new work up front (bounded Retry-After) rather than
+		// parking it behind an unbounded line of predecessors.
+		if !s.budget.admit(cls.cost) {
+			s.shed[shedCost].Add(1)
+			return nil, &shedError{retryAfter: shedRetryAfter(s.budget.pendingSimS(), s.cfg.MaxSims)}
+		}
+		defer s.budget.release(cls.cost)
 		qStart := time.Now()
-		slot <- struct{}{}
+		if cls.prio < 0 {
+			// The serialized sweep slot: sync /matrix bodies, one at a
+			// time (each saturates its own Runner pool).
+			s.sweepSlot <- struct{}{}
+			defer func() { <-s.sweepSlot }()
+		} else {
+			if err := s.slots.acquire(s.base, cls.prio); err != nil {
+				return nil, err // server closing
+			}
+			defer s.slots.release()
+		}
 		er.D[obs.StageQueue] = time.Since(qStart)
-		defer func() { <-slot }()
 		s.executions.Add(1)
 		body, err := build(er)
 		stored := false
@@ -326,11 +404,13 @@ func (s *Server) storePut(key string, body []byte) {
 	}
 }
 
-// executeRun serves one canonical run request on the MaxSims slots.
-// key is canon.Key(), computed once by the caller so the handler can
-// stamp it into the X-Content-Key header without hashing twice.
-func (s *Server) executeRun(ctx context.Context, key string, canon Request, rc experiment.RunConfig, rec *obs.TimingRecord) ([]byte, string, error) {
-	return s.execute(ctx, key, s.slots, rec, func(er *obs.TimingRecord) ([]byte, error) {
+// executeRun serves one canonical run request on the MaxSims slots at
+// the given admission class (sync /run is interactive; job runs and
+// decomposed sweep cells are bulk). key is canon.Key(), computed once
+// by the caller so the handler can stamp it into the X-Content-Key
+// header without hashing twice.
+func (s *Server) executeRun(ctx context.Context, key string, cls execClass, canon Request, rc experiment.RunConfig, rec *obs.TimingRecord) ([]byte, string, error) {
+	return s.execute(ctx, key, cls, rec, func(er *obs.TimingRecord) ([]byte, error) {
 		t := time.Now()
 		res, err := s.runSim(rc)
 		er.D[obs.StageExecute] = time.Since(t)
@@ -349,9 +429,10 @@ func (s *Server) executeRun(ctx context.Context, key string, canon Request, rc e
 // caller, cancelled on Close) across the configured Runner pool; it
 // holds the dedicated sweep slot, not a MaxSims one — a sweep fans out
 // over its whole pool, so running them one at a time keeps total
-// engine concurrency bounded by MaxSims + Runner workers.
+// engine concurrency bounded by MaxSims + Runner workers. Its whole
+// cross-product cost is reserved against the pending budget.
 func (s *Server) executeMatrix(ctx context.Context, key string, canon MatrixRequest, mc experiment.MatrixConfig, opt experiment.Options, rec *obs.TimingRecord) ([]byte, string, error) {
-	return s.execute(ctx, key, s.sweepSlot, rec, func(er *obs.TimingRecord) ([]byte, error) {
+	return s.execute(ctx, key, execClass{prio: prioSweep, cost: canon.simSeconds()}, rec, func(er *obs.TimingRecord) ([]byte, error) {
 		t := time.Now()
 		cells, err := s.runMatrix(s.base, mc, opt)
 		er.D[obs.StageExecute] = time.Since(t)
@@ -399,6 +480,58 @@ type StatsDoc struct {
 	// Latency holds per-endpoint and per-stage p50/p95/p99, estimated
 	// from the same fixed-bucket histograms /metrics exposes.
 	Latency LatencyStats `json:"latency"`
+	// Admission holds the overload-control counters: the pending
+	// simulated-seconds backlog against its budget, per-priority
+	// execution-queue depth, cumulative shed counts by reason, and the
+	// per-tenant quota table (when quotas are enabled).
+	Admission AdmissionStats `json:"admission"`
+}
+
+// AdmissionStats is the /stats admission block — what a dashboard
+// needs to see saturation directly instead of inferring it from 503
+// rates.
+type AdmissionStats struct {
+	// MaxPendingSimS is the simulated-seconds budget (0: unbounded);
+	// PendingSimS is the backlog currently reserved against it.
+	MaxPendingSimS float64 `json:"max_pending_sim_s"`
+	PendingSimS    float64 `json:"pending_sim_s"`
+	// ExecQueue is the MaxSims execution-slot queue: free slots and
+	// waiters per priority class.
+	ExecQueue ExecQueueStats `json:"exec_queue"`
+	// Shed counts overload refusals (503 + Retry-After) by reason.
+	Shed ShedStats `json:"shed"`
+	// Quota is the per-tenant token-bucket state; absent when quotas
+	// are disabled.
+	Quota *QuotaStats `json:"quota,omitempty"`
+}
+
+// ExecQueueStats is the execution-slot queue: capacity, free slots and
+// per-priority waiter depth.
+type ExecQueueStats struct {
+	MaxSims            int `json:"max_sims"`
+	Free               int `json:"free"`
+	WaitingInteractive int `json:"waiting_interactive"`
+	WaitingBulk        int `json:"waiting_bulk"`
+}
+
+// ShedStats counts load-shedding decisions by reason: "cost" is the
+// simulated-seconds budget refusing new work, "queue_full" is the
+// structural pending-job bound.
+type ShedStats struct {
+	Cost      int64 `json:"cost"`
+	QueueFull int64 `json:"queue_full"`
+}
+
+// QuotaStats is the per-tenant quota block of /stats.
+type QuotaStats struct {
+	// RPS and Burst are the configured token-bucket parameters.
+	RPS   float64 `json:"rps"`
+	Burst float64 `json:"burst"`
+	// Tenants is the number of live buckets (tenants seen recently
+	// enough that their bucket has not fully refilled and been pruned).
+	Tenants int `json:"tenants"`
+	// Denied is the cumulative 429 count.
+	Denied int64 `json:"denied"`
 }
 
 // StoreStats is the /stats durable-store block: the store's own
@@ -432,6 +565,7 @@ func (s *Server) Stats() StatsDoc {
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.stats(s.cfg.JobWorkers),
 		Latency:       s.metrics.latency(),
+		Admission:     s.admissionStats(),
 	}
 	if s.cfg.Store != nil {
 		doc.Store = &StoreStats{
@@ -443,6 +577,35 @@ func (s *Server) Stats() StatsDoc {
 		}
 	}
 	return doc
+}
+
+// admissionStats assembles the /stats admission block.
+func (s *Server) admissionStats() AdmissionStats {
+	waiting, free := s.slots.depths()
+	st := AdmissionStats{
+		MaxPendingSimS: s.cfg.MaxPendingSimS,
+		PendingSimS:    s.budget.pendingSimS(),
+		ExecQueue: ExecQueueStats{
+			MaxSims:            s.cfg.MaxSims,
+			Free:               free,
+			WaitingInteractive: waiting[prioInteractive],
+			WaitingBulk:        waiting[prioBulk],
+		},
+		Shed: ShedStats{
+			Cost:      s.shed[shedCost].Load(),
+			QueueFull: s.shed[shedQueueFull].Load(),
+		},
+	}
+	if s.quota != nil {
+		tenants, denied := s.quota.stats()
+		st.Quota = &QuotaStats{
+			RPS:     s.quota.rps,
+			Burst:   s.quota.burst,
+			Tenants: tenants,
+			Denied:  denied,
+		}
+	}
+	return st
 }
 
 var errQueueFull = fmt.Errorf("job queue full; retry later")
